@@ -1,0 +1,27 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark module reproduces one paper artifact (see DESIGN.md
+§4).  The convention: a module-scoped fixture runs the experiment
+once, the test asserts the paper's *shape* (who wins, by roughly what
+factor) and prints a paper-vs-measured table, and the ``benchmark``
+fixture times a representative steady-state operation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render one experiment's result table to stdout."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-+-".join("-" * w for w in widths))
+    for row in rows:
+        print(" | ".join(c.ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,144 @@
+"""A1 — ablation: placement strategy and update mode.
+
+DESIGN.md calls out two MicroDeep design choices for ablation:
+
+1. the unit-to-node **assignment strategy** (the paper's
+   grid-correspondence heuristic vs. round-robin, random, and the
+   centralized sink) — measured by peak and total per-inference
+   traffic on the E1 fall CNN;
+2. **local vs. exact** distributed backpropagation — measured by test
+   accuracy on a controlled task with everything else fixed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.contexts.fall import FEASIBLE_PARAMS, build_fall_cnn
+from repro.core import (
+    CommunicationCostModel,
+    MicroDeepTrainer,
+    UnitGraph,
+    centralized_assignment,
+    grid_correspondence_assignment,
+    random_assignment,
+    round_robin_assignment,
+)
+from repro.nn import SGD
+from repro.wsn import GridTopology
+
+
+@pytest.fixture(scope="module")
+def placements():
+    rng = np.random.default_rng(0)
+    model = build_fall_cnn(rng=rng, **FEASIBLE_PARAMS)
+    graph = UnitGraph(model)
+    topology = GridTopology(4, 4)
+    cm = CommunicationCostModel(graph, topology)
+    strategies = {
+        "grid correspondence": grid_correspondence_assignment(graph, topology),
+        "round robin": round_robin_assignment(graph, topology),
+        "random": random_assignment(graph, topology, rng),
+        "centralized sink": centralized_assignment(graph, topology),
+    }
+    return {name: cm.inference_cost(p) for name, p in strategies.items()}
+
+
+def toy_task(n, rng):
+    x = rng.normal(0.0, 0.3, size=(n, 1, 10, 10))
+    y = rng.integers(0, 2, size=n)
+    for i in range(n):
+        cy = rng.integers(1, 4) if y[i] == 0 else rng.integers(6, 9)
+        cx = rng.integers(2, 8)
+        x[i, 0, cy - 1 : cy + 2, cx - 1 : cx + 2] += 2.0
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def update_mode_accuracies():
+    from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+
+    rng = np.random.default_rng(1)
+    x, y = toy_task(240, rng)
+    accs = {}
+    for mode in ("exact", "local"):
+        model = Sequential([
+            Conv2D(2, 3), ReLU(), MaxPool2D(2), Flatten(),
+            Dense(8), ReLU(), Dense(2),
+        ])
+        model.build((1, 10, 10), np.random.default_rng(2))
+        graph = UnitGraph(model)
+        topology = GridTopology(3, 3)
+        placement = grid_correspondence_assignment(graph, topology)
+        trainer = MicroDeepTrainer(
+            graph, placement, SGD(lr=0.1, momentum=0.9), update_mode=mode
+        )
+        trainer.fit(x[:180], y[:180], epochs=20, batch_size=16,
+                    rng=np.random.default_rng(3))
+        __, accs[mode] = trainer.evaluate(x[180:], y[180:])
+    return accs
+
+
+def test_a1_assignment_and_update_ablation(
+    placements, update_mode_accuracies, benchmark
+):
+    print_table(
+        "A1: placement strategy ablation (E1 feasible CNN, 16 nodes)",
+        ["strategy", "peak rx values", "total rx values"],
+        [
+            [name, str(report.max_rx()), str(report.total_rx())]
+            for name, report in placements.items()
+        ],
+    )
+    grid = placements["grid correspondence"]
+    # Locality-aware placement dominates random on both metrics...
+    assert grid.total_rx() < placements["random"].total_rx()
+    assert grid.max_rx() <= placements["random"].max_rx()
+    # ...and cuts the centralized peak.
+    assert grid.max_rx() < placements["centralized sink"].max_rx()
+    # Round-robin ignores locality: total traffic far above the heuristic.
+    assert grid.total_rx() < 0.7 * placements["round robin"].total_rx()
+
+    # Training-step traffic: the quantified version of the paper's
+    # "weights ... updated independently by each sensor node to avoid
+    # communication overhead".
+    rng = np.random.default_rng(7)
+    model = build_fall_cnn(rng=rng, **FEASIBLE_PARAMS)
+    graph = UnitGraph(model)
+    topology = GridTopology(4, 4)
+    cm = CommunicationCostModel(graph, topology)
+    placement = grid_correspondence_assignment(graph, topology)
+    local_cost = cm.training_step_cost(placement, "local")
+    exact_cost = cm.training_step_cost(placement, "exact")
+    print_table(
+        "A1: per-sample training traffic (heuristic placement)",
+        ["update mode", "total rx values"],
+        [
+            ["local (MicroDeep)", str(local_cost.total_rx())],
+            ["exact backprop", str(exact_cost.total_rx())],
+        ],
+    )
+    assert exact_cost.total_rx() == 2 * local_cost.total_rx()
+
+    print_table(
+        "A1: update-mode ablation (toy task, 3x3 nodes)",
+        ["update mode", "test accuracy"],
+        [[m, f"{a:.4f}"] for m, a in update_mode_accuracies.items()],
+    )
+    # Both learn; local sacrifices at most a few points (the paper's
+    # "sacrificing some accuracy").
+    assert update_mode_accuracies["exact"] > 0.85
+    assert update_mode_accuracies["local"] > 0.80
+    assert (
+        update_mode_accuracies["exact"] - update_mode_accuracies["local"]
+    ) < 0.15
+
+    rng = np.random.default_rng(4)
+    model = build_fall_cnn(rng=rng, **FEASIBLE_PARAMS)
+    graph = UnitGraph(model)
+    topology = GridTopology(4, 4)
+    cm = CommunicationCostModel(graph, topology)
+    placement = grid_correspondence_assignment(graph, topology)
+    benchmark(lambda: cm.inference_cost(placement).max_rx())

@@ -1,0 +1,113 @@
+"""A2 — the survey technologies of §II: NetScatter scaling,
+inter-technology backscatter, CSI gesture recognition, and the §III.B
+collection planner.
+
+These regenerate the *claims the paper surveys* on our substrates:
+NetScatter's many-device concurrency [27], the published
+inter-technology links [17][19][23][24], WiAG/SignFi-class gesture
+recognition from CSI [32][33], and the automatic design-support
+planning the paper calls for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.backscatter import (
+    NetScatterConfig,
+    PUBLISHED_SYSTEMS,
+    concurrent_throughput_bps,
+    published_link,
+    run_concurrent_trial,
+    tdma_throughput_bps,
+)
+from repro.contexts import GestureRecognizer
+from repro.core import CollectionPlanner
+from repro.sensing import CsiGestureScenario
+from repro.wsn import GridTopology
+
+
+@pytest.fixture(scope="module")
+def netscatter_sweep():
+    cfg = NetScatterConfig(spreading=256)
+    rows = []
+    for n in [10, 50, 150, 256]:
+        ber = run_concurrent_trial(cfg, n, n_slots=15, snr_db=0.0,
+                                   rng=np.random.default_rng(n))
+        rows.append((n, concurrent_throughput_bps(cfg, n),
+                     tdma_throughput_bps(cfg, n), ber))
+    return cfg, rows
+
+
+@pytest.fixture(scope="module")
+def gesture_accuracy():
+    recognizer = GestureRecognizer(CsiGestureScenario(n_frames=40))
+    return recognizer.evaluate(10, np.random.default_rng(5))
+
+
+def test_a2_survey_technologies(netscatter_sweep, gesture_accuracy, benchmark):
+    cfg, rows = netscatter_sweep
+    print_table(
+        "A2: NetScatter concurrency (spreading 256, 0 dB per-sample SNR)",
+        ["devices", "concurrent bps", "TDMA bps", "BER"],
+        [[str(n), f"{c:g}", f"{t:g}", f"{b:.4f}"] for n, c, t, b in rows],
+    )
+    # Aggregate throughput scales with devices and passes TDMA well
+    # before the shift space is full; decoding stays reliable except
+    # at full occupancy, where the median-based detector loses its
+    # noise-floor estimate (all bins carry signal).
+    __, c50, t50, ber50 = rows[1]
+    assert c50 > 5 * t50
+    for n, __c, __t, ber in rows:
+        if n < cfg.spreading:
+            assert ber < 0.05, n
+
+    print_table(
+        "A2: published inter-technology backscatter links",
+        ["system", "carrier -> target", "shift (MHz)", "rate", "tag power"],
+        [
+            [
+                name,
+                " -> ".join(PUBLISHED_SYSTEMS[name]),
+                f"{published_link(name).frequency_shift_hz / 1e6:.1f}",
+                f"{published_link(name).data_rate_bps / 1e6:g} Mbps",
+                f"{published_link(name).tag_power_w() * 1e6:.1f} uW",
+            ]
+            for name in sorted(PUBLISHED_SYSTEMS)
+        ],
+    )
+    for name in PUBLISHED_SYSTEMS:
+        assert published_link(name).feasible, name
+
+    print_table(
+        "A2: CSI gesture recognition (5 gestures, 40-frame executions)",
+        ["metric", "value", "survey reference"],
+        [["accuracy", f"{gesture_accuracy.accuracy:.4f}",
+          "WiAG ~0.91 / SignFi ~0.94"]],
+    )
+    assert gesture_accuracy.accuracy > 0.75
+
+    # Planner: frame duration shrinks with channels (the §III.B
+    # multi-channel design-support claim).
+    rows = []
+    for channels in [1, 2, 4]:
+        planner = CollectionPlanner(GridTopology(5, 8), max_channels=channels)
+        plan = planner.plan(sink=0, cycle_s=10.0)
+        rows.append([str(channels), f"{plan.frame_duration_s * 1e3:.1f} ms",
+                     str(plan.feasible)])
+    print_table(
+        "A2: collection-plan superframe vs. channel budget (40 nodes)",
+        ["channels", "superframe", "meets 10 s cycle"], rows,
+    )
+    one = float(rows[0][1].split()[0])
+    four = float(rows[2][1].split()[0])
+    assert four <= one
+
+    cfg_small = NetScatterConfig(spreading=128)
+    benchmark(
+        lambda: run_concurrent_trial(
+            cfg_small, 30, 5, 0.0, np.random.default_rng(9)
+        )
+    )

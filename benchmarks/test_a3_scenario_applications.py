@@ -1,0 +1,153 @@
+"""A3 — the application scenarios (i)-(vi) of §I/§III.C, end to end.
+
+One table per scenario family, generated from the live pipelines:
+
+- (i)/(ii) body sensing: posture recognition, exercise counting,
+  breathing extraction (RF-Kinect / Motion-Fi / RF-ECG);
+- (iii) perimeter intrusion classification + trajectory tracking;
+- (v) slope monitoring: event detection vs. storms;
+- (vi) autonomous HVAC: closed-loop discomfort reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.contexts import (
+    AutonomousHvacController,
+    CellWorld,
+    ComfortPolicy,
+    IntrusionDetector,
+    PerimeterSimulator,
+    Posture,
+    PostureClassifier,
+    RepetitionCounter,
+    SlopeMonitor,
+    SlopeSimulator,
+    TagArraySensor,
+    TrajectorySimulator,
+    ViterbiTracker,
+    default_lounge,
+    estimate_periodicity,
+    run_closed_loop,
+)
+
+
+@pytest.fixture(scope="module")
+def body_sensing():
+    rng = np.random.default_rng(0)
+    clf = PostureClassifier()
+    posture_acc = np.mean([
+        clf.observe_and_classify(p, rng) == p
+        for p in Posture for __ in range(20)
+    ])
+    counter = RepetitionCounter(dt=0.05)
+    rep_hits = 0
+    for true_reps in [4, 8, 12, 16]:
+        distances = counter.synthesize_exercise(true_reps, 2.0, 0.3, rng)
+        rep_hits += counter.count_from_distances(distances, rng) == true_reps
+    sensor = TagArraySensor(phase_noise_rad=0.03)
+    dt = 0.1
+    t = np.arange(400) * dt
+    chest = 1.8 + 0.005 * np.sin(2 * np.pi * 0.3 * t)
+    readings = [sensor.read(0, d, ti, rng) for d, ti in zip(chest, t)]
+    rate, __ = estimate_periodicity(
+        sensor.displacement_series(readings), dt, min_hz=0.1, max_hz=1.0
+    )
+    return float(posture_acc), rep_hits, rate
+
+
+@pytest.fixture(scope="module")
+def intrusion_and_tracking():
+    rng = np.random.default_rng(1)
+    sim = PerimeterSimulator()
+    detector = IntrusionDetector().fit(sim.generate_dataset(20, rng))
+    result = detector.evaluate(sim.generate_dataset(8, np.random.default_rng(2)))
+    world = CellWorld.floorplan(3, 4)
+    walker = TrajectorySimulator(world, detection_probability=0.6,
+                                 confusion_probability=0.25)
+    tracker = ViterbiTracker(world, detection_probability=0.6,
+                             confusion_probability=0.25)
+    rng = np.random.default_rng(3)
+    tracked_accs, raw_accs = [], []
+    for __ in range(8):
+        path = walker.walk(50, rng)
+        obs = walker.observe(path, rng)
+        tracked, raw = tracker.accuracy(path, obs)
+        tracked_accs.append(tracked)
+        raw_accs.append(raw)
+    return result, float(np.mean(tracked_accs)), float(np.mean(raw_accs))
+
+
+@pytest.fixture(scope="module")
+def slope_watch():
+    sim = SlopeSimulator()
+    rng = np.random.default_rng(4)
+    calibration = [
+        sim.observe(w, rng) for w in [0, 5, 10, 15, 20, 25] for __ in range(3)
+    ]
+    monitor = SlopeMonitor(k_of_n=3).calibrate_wind(calibration)
+    windows = []
+    for __ in range(12):
+        windows.append(sim.observe(8.0, rng, event_center=(1, 3)))
+        windows.append(sim.observe(8.0, rng))
+        windows.append(sim.observe(28.0, rng))  # storm, no event
+    return monitor.evaluate(windows), monitor, sim
+
+
+@pytest.fixture(scope="module")
+def hvac_improvement():
+    baseline = run_closed_loop(default_lounge(31.0), None, 40,
+                               np.random.default_rng(5))
+    controller = AutonomousHvacController(ComfortPolicy(), gain=0.8)
+    controlled = run_closed_loop(default_lounge(31.0), controller, 40,
+                                 np.random.default_rng(5))
+    return baseline, controlled
+
+
+def test_a3_scenario_applications(
+    body_sensing, intrusion_and_tracking, slope_watch, hvac_improvement,
+    benchmark,
+):
+    posture_acc, rep_hits, breathing_hz = body_sensing
+    intrusion, tracked_acc, raw_acc = intrusion_and_tracking
+    slope_scores, monitor, slope_sim = slope_watch
+    baseline, controlled = hvac_improvement
+
+    print_table(
+        "A3: scenarios (i)-(vi) end to end",
+        ["scenario", "metric", "measured"],
+        [
+            ["(i)/(ii) posture (RF-Kinect)", "3-class accuracy",
+             f"{posture_acc:.3f}"],
+            ["(ii) exercise count (Motion-Fi)", "exact bouts of 4",
+             f"{rep_hits}/4"],
+            ["(i) breathing (RF-ECG)", "estimated rate",
+             f"{breathing_hz * 60:.1f}/min (true 18.0)"],
+            ["(iii) intrusion", "human/deer/boar accuracy",
+             f"{intrusion.kind_accuracy:.3f}"],
+            ["(iii) trajectory", "tracked vs raw cell accuracy",
+             f"{tracked_acc:.3f} vs {raw_acc:.3f}"],
+            ["(v) slope events", "detection / false alarms",
+             f"{slope_scores[0]:.2f} / {slope_scores[1]:.2f}"],
+            ["(v) wind estimation", "MAE",
+             f"{slope_scores[2]:.1f} m/s"],
+            ["(vi) autonomous HVAC", "mean discomfort",
+             f"{baseline.mean_discomfort:.2f} -> "
+             f"{controlled.mean_discomfort:.2f}"],
+        ],
+    )
+
+    assert posture_acc > 0.9
+    assert rep_hits >= 3
+    assert breathing_hz * 60 == pytest.approx(18.0, abs=2.0)
+    assert intrusion.kind_accuracy > 0.8
+    assert tracked_acc > raw_acc
+    assert slope_scores[0] > 0.9      # detection
+    assert slope_scores[1] < 0.25     # false alarms (includes storms)
+    assert controlled.mean_discomfort < 0.7 * baseline.mean_discomfort
+
+    rng = np.random.default_rng(6)
+    benchmark(lambda: monitor.assess(slope_sim.observe(8.0, rng)))

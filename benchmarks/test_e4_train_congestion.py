@@ -1,0 +1,61 @@
+"""E4 — §IV.B: car-level congestion and position estimation [65].
+
+Paper numbers: 83 % car-level positioning accuracy; three-level
+congestion (low/medium/high) estimated with an F-measure of 0.82 via
+reliability-weighted majority voting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.contexts import CongestionEstimator
+from repro.sensing import TrainScenario
+
+
+def make_snapshots(scenario, n, seed, participation=0.35):
+    rng = np.random.default_rng(seed)
+    return [
+        scenario.generate(scenario.random_levels(rng), participation, rng)
+        for __ in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    scenario = TrainScenario()
+    estimator = CongestionEstimator(scenario)
+    estimator.calibrate(make_snapshots(scenario, 80, seed=0))
+    test = make_snapshots(scenario, 40, seed=1)
+    result = estimator.evaluate(test)
+    return scenario, estimator, test, result
+
+
+def test_e4_train_congestion(experiment, benchmark):
+    scenario, estimator, test, result = experiment
+
+    print_table(
+        "E4: train congestion / position estimation",
+        ["metric", "measured", "paper"],
+        [
+            ["car-level position accuracy",
+             f"{result.position_accuracy:.4f}", "0.83"],
+            ["3-level congestion F-measure",
+             f"{result.congestion_f_measure:.4f}", "0.82"],
+            ["3-level congestion accuracy",
+             f"{result.congestion_accuracy:.4f}", "-"],
+        ],
+    )
+
+    # Shape: both metrics land in the paper's band — clearly better
+    # than chance, clearly below perfect.
+    assert 0.75 <= result.position_accuracy <= 0.97
+    assert 0.70 <= result.congestion_f_measure <= 0.97
+    # Positioning is the easier of the two at these settings, as in
+    # the paper (0.83 vs 0.82 per-metric scales differ but both hold).
+    assert result.position_accuracy > 1.0 / scenario.n_cars + 0.3
+
+    snapshot = test[0]
+    benchmark(lambda: estimator.estimate_congestion(snapshot))

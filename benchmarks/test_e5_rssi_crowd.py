@@ -1,0 +1,49 @@
+"""E5 — §IV.B: crowd counting on an already-deployed WSN [66].
+
+Paper numbers: the algorithm estimates the number of people with
+approximately 79 % accuracy, with errors up to two people, from the
+synchronized inter-node RSSI; the number of devices is estimated from
+the surrounding RSSI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.contexts import CrowdCounter
+from repro.sensing import RoomOccupancyScenario
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    room = RoomOccupancyScenario()
+    train = room.generate_dataset(30, np.random.default_rng(0))
+    test = room.generate_dataset(10, np.random.default_rng(1))
+    counter = CrowdCounter().fit(train)
+    result = counter.evaluate(test)
+    return room, counter, test, result
+
+
+def test_e5_rssi_crowd_counting(experiment, benchmark):
+    room, counter, test, result = experiment
+
+    print_table(
+        "E5: RSSI crowd counting (inter-node + surrounding RSSI)",
+        ["metric", "measured", "paper"],
+        [
+            ["people-count accuracy", f"{result.people_accuracy:.4f}", "~0.79"],
+            ["within +-2 people", f"{result.people_within_2:.4f}",
+             "1.0 (errors up to two)"],
+            ["people MAE", f"{result.people_mae:.3f}", "-"],
+            ["device-count MAE", f"{result.device_mae:.3f}", "-"],
+        ],
+    )
+
+    # Shape: ~0.7-0.9 exact accuracy, and errors bounded by two people.
+    assert 0.65 <= result.people_accuracy <= 0.95
+    assert result.people_within_2 >= 0.97
+    assert result.people_mae < 1.0
+
+    benchmark(lambda: counter.predict_people(test))

@@ -1,0 +1,107 @@
+"""E7 — §I / Fig. 1: the zero-energy budget claims.
+
+Paper claims: conventional wireless spends tens to hundreds of mW,
+BLE is on the order of mW, and ambient backscatter cuts power to
+about 10 uW — roughly 1/10,000; Wi-Fi-based ambient backscatter
+reaches tens of meters at Mbps-class rates; harvested energy sustains
+a backscatter device but not an active radio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.backscatter import BackscatterLink, BackscatterTag, dedicated_cw_carrier
+from repro.energy import (
+    Capacitor,
+    IntermittentPowerManager,
+    RADIO_PROFILES,
+    RadioEnergyModel,
+    TaskSpec,
+    backscatter_vs_active_ratio,
+    rf_field_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def link():
+    # Line-of-sight deployment with a sensitive backscatter decoder —
+    # the favourable regime behind the paper's "several tens of
+    # meters with several Mbps" figure for Wi-Fi backscatter.
+    from repro.wsn.radio import LogDistancePathLoss
+
+    return BackscatterLink(
+        carrier=dedicated_cw_carrier(20.0),
+        tag=BackscatterTag(bitrate_bps=2e6),
+        path_loss=LogDistancePathLoss(exponent=2.0, ref_loss_db=40.0),
+        rx_sensitivity_dbm=-102.0,
+    )
+
+
+def test_e7_energy_budget(link, benchmark):
+    # -- power table ---------------------------------------------------------
+    rows = [
+        [name, f"{p.tx_power_w * 1e3:.3f} mW", f"{p.bitrate_bps / 1e6:g} Mbps"]
+        for name, p in RADIO_PROFILES.items()
+    ]
+    print_table("E7: radio TX power (paper §I orders of magnitude)",
+                ["radio", "TX power", "bitrate"], rows)
+
+    ratio = backscatter_vs_active_ratio("wifi")
+    print(f"backscatter vs Wi-Fi TX power ratio: 1/{ratio:,.0f} "
+          f"(paper: about 1/10,000)")
+    assert 1_000 <= ratio <= 100_000
+    assert RADIO_PROFILES["backscatter"].tx_power_w == pytest.approx(10e-6)
+    assert 1e-3 <= RADIO_PROFILES["ble"].tx_power_w <= 10e-3
+
+    # -- range sweep ------------------------------------------------------------
+    sweep = []
+    for d in [1.0, 5.0, 10.0, 20.0, 40.0]:
+        thr = link.effective_throughput_bps(2.0, d, payload_bits=256)
+        sweep.append([f"{d:g} m", f"{thr / 1e6:.3f} Mbps"])
+    print_table("E7: backscatter goodput vs tag->receiver distance",
+                ["distance", "goodput"], sweep)
+    max_range = link.max_range_m(carrier_to_tag_m=2.0)
+    print(f"max decodable range: {max_range:.1f} m "
+          f"(paper: several tens of meters)")
+    assert 5.0 <= max_range <= 100.0
+    assert link.effective_throughput_bps(2.0, 5.0, 256) > 0.5e6  # Mbps class
+
+    # -- harvested duty cycles ---------------------------------------------------
+    harvested = 30e-6  # 30 uW ambient RF harvest
+    duty_rows = []
+    for name in ["backscatter", "ble", "zigbee", "wifi"]:
+        duty = RadioEnergyModel.named(name).sustainable_duty_cycle(harvested)
+        duty_rows.append([name, f"{duty:.6f}"])
+    print_table("E7: TX duty cycle sustainable on 30 uW harvest",
+                ["radio", "duty cycle"], duty_rows)
+    assert RadioEnergyModel.named("backscatter").sustainable_duty_cycle(
+        harvested) == 1.0
+    assert RadioEnergyModel.named("wifi").sustainable_duty_cycle(
+        harvested) < 1e-3
+
+    # -- end-to-end intermittent run ------------------------------------------------
+    def run_device(radio_name):
+        model = RadioEnergyModel.named(radio_name)
+        cap = Capacitor(capacity_j=5e-3, turn_on_j=1e-4, initial_j=1e-4)
+        # Each reading costs sense + 5 ms of channel listening (idle
+        # listening dominates active radios; backscatter barely pays)
+        # + the transmission itself.
+        listen_j = model.profile.rx_power_w * 0.005
+        tasks = [
+            TaskSpec("sense", 5e-6, 0.05),
+            TaskSpec("listen", listen_j, 0.005),
+            TaskSpec("tx", model.tx_energy_j(1024), 0.05),
+        ]
+        trace = rf_field_trace(600.0, 1.0, 30e-6, np.random.default_rng(0))
+        return IntermittentPowerManager(cap, tasks).run(trace)
+
+    bsc = run_device("backscatter")
+    wifi = run_device("wifi")
+    print(f"readings delivered in 10 min on harvested RF: "
+          f"backscatter={bsc.completions('tx')}, wifi={wifi.completions('tx')}")
+    assert bsc.completions("tx") > 5 * max(wifi.completions("tx"), 1)
+
+    benchmark(lambda: link.max_range_m(carrier_to_tag_m=2.0))

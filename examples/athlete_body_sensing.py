@@ -1,0 +1,62 @@
+"""Scenario (ii): grasping activities of athletes with RFID tag arrays.
+
+The paper's §III.C toolbox on one body: RF-Kinect posture tracking
+[60], Motion-Fi repetitive-exercise counting [37], and RF-ECG-style
+vital-sign extraction [58] — all from the backscatter phase of passive
+tags.
+
+Run:  python examples/athlete_body_sensing.py
+"""
+
+import numpy as np
+
+from repro.contexts import (
+    Posture,
+    PostureClassifier,
+    RepetitionCounter,
+    TagArraySensor,
+    estimate_periodicity,
+)
+
+
+def main():
+    rng = np.random.default_rng(0)
+
+    # 1. Posture tracking (RF-Kinect style).
+    print("=== Posture tracking from a 4-tag body array ===")
+    classifier = PostureClassifier()
+    for posture in Posture:
+        hits = sum(
+            classifier.observe_and_classify(posture, rng) == posture
+            for __ in range(25)
+        )
+        print(f"  {posture.name.lower():9s} recognized {hits}/25")
+    print("  (LYING is the fall alarm of the elderly-monitoring scenario)")
+
+    # 2. Exercise counting (Motion-Fi style).
+    print("\n=== Squat counting from one chest tag ===")
+    counter = RepetitionCounter(dt=0.05)
+    for true_reps in [5, 10, 15]:
+        distances = counter.synthesize_exercise(
+            true_reps, rep_period_s=2.2, amplitude_m=0.3, rng=rng
+        )
+        counted = counter.count_from_distances(distances, rng)
+        print(f"  performed {true_reps:2d} squats -> counted {counted:2d}")
+
+    # 3. Breathing extraction (RF-ECG style).
+    print("\n=== Breathing rate from chest-tag micro-motion ===")
+    sensor = TagArraySensor(phase_noise_rad=0.03)
+    dt = 0.1
+    true_rate_hz = 0.27  # ~16 breaths/min
+    t = np.arange(600) * dt
+    chest = 1.8 + 0.005 * np.sin(2 * np.pi * true_rate_hz * t)
+    readings = [sensor.read(0, d, ti, rng) for d, ti in zip(chest, t)]
+    displacement = sensor.displacement_series(readings)
+    rate, power = estimate_periodicity(displacement, dt, min_hz=0.1, max_hz=1.0)
+    print(f"  true rate {true_rate_hz * 60:.1f} breaths/min, "
+          f"estimated {rate * 60:.1f} breaths/min "
+          f"(peak share {power:.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Quickstart: run a distributed CNN on a simulated sensor network.
+
+This walks through the MicroDeep workflow end to end on a toy task:
+
+1. build a CNN over a 10 x 10 sensed field;
+2. deploy a 4 x 4 grid of sensor nodes;
+3. place the CNN's units on the nodes (three strategies);
+4. compare per-node communication costs;
+5. train with communication-free local backpropagation;
+6. execute a distributed inference and verify measured traffic.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    CommunicationCostModel,
+    DistributedExecutor,
+    MicroDeepTrainer,
+    UnitGraph,
+    centralized_assignment,
+    grid_correspondence_assignment,
+    random_assignment,
+)
+from repro.nn import SGD, Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+from repro.wsn import GridTopology, Network
+
+
+def make_toy_task(n, rng):
+    """Binary task: is the hot blob in the top or bottom half?"""
+    x = rng.normal(0.0, 0.3, size=(n, 1, 10, 10))
+    y = rng.integers(0, 2, size=n)
+    for i in range(n):
+        cy = rng.integers(1, 4) if y[i] == 0 else rng.integers(6, 9)
+        cx = rng.integers(2, 8)
+        x[i, 0, cy - 1 : cy + 2, cx - 1 : cx + 2] += 2.0
+    return x, y
+
+
+def main():
+    rng = np.random.default_rng(0)
+
+    # 1. A small CNN over the sensed field.
+    model = Sequential([
+        Conv2D(2, 3), ReLU(), MaxPool2D(2), Flatten(),
+        Dense(8), ReLU(), Dense(2),
+    ])
+    model.build((1, 10, 10), rng)
+    graph = UnitGraph(model)
+    print(f"CNN has {graph.total_units()} assignable units "
+          f"({model.num_params()} parameters)")
+
+    # 2. Sixteen sensor nodes on a grid.
+    topology = GridTopology(4, 4)
+
+    # 3 + 4. Place the units three ways and compare traffic.
+    cost_model = CommunicationCostModel(graph, topology)
+    placements = {
+        "grid correspondence (paper heuristic)": grid_correspondence_assignment(
+            graph, topology
+        ),
+        "centralized sink (standard CNN)": centralized_assignment(graph, topology),
+        "random": random_assignment(graph, topology, rng),
+    }
+    print("\nPer-inference communication cost (received values):")
+    for name, placement in placements.items():
+        report = cost_model.inference_cost(placement)
+        print(f"  {name:40s} peak {report.max_rx():4d}   "
+              f"total {report.total_rx():5d}")
+
+    # 5. Train with MicroDeep's local (communication-free) updates.
+    placement = placements["grid correspondence (paper heuristic)"]
+    trainer = MicroDeepTrainer(
+        graph, placement, SGD(lr=0.1, momentum=0.9), update_mode="local"
+    )
+    x, y = make_toy_task(200, rng)
+    history = trainer.fit(x[:160], y[:160], epochs=15, batch_size=16, rng=rng,
+                          x_val=x[160:], y_val=y[160:])
+    print(f"\nTrained with local updates: "
+          f"train acc {history.train_accuracy[-1]:.3f}, "
+          f"val acc {history.best_val_accuracy:.3f}")
+
+    # 6. Distributed inference with measured traffic.
+    network = Network(topology)
+    executor = DistributedExecutor(model, graph, placement, network)
+    preds = executor.predict(x[160:165], count_traffic=True)
+    print(f"\nDistributed predictions: {preds.tolist()} "
+          f"(truth: {y[160:165].tolist()})")
+    print(f"Network carried {network.stats.delivered} messages; "
+          f"busiest node received {network.stats.max_rx_values()} values")
+
+
+if __name__ == "__main__":
+    main()

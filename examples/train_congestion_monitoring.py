@@ -1,0 +1,55 @@
+"""Wireless sensing: car-level congestion monitoring in trains [65].
+
+Phones measure Bluetooth RSSI to reference nodes and to each other;
+the estimator first localizes each phone to a car (doors between cars
+attenuate strongly), then estimates each car's three-level congestion
+by majority voting weighted by positioning reliability.
+
+Run:  python examples/train_congestion_monitoring.py
+"""
+
+import numpy as np
+
+from repro.contexts import CongestionEstimator
+from repro.sensing import CongestionLevel, TrainScenario
+
+
+def main():
+    scenario = TrainScenario(n_cars=6)
+    estimator = CongestionEstimator(scenario)
+
+    print("Calibrating likelihood functions from 80 labeled trips...")
+    rng = np.random.default_rng(0)
+    calibration = [
+        scenario.generate(scenario.random_levels(rng), 0.35, rng)
+        for __ in range(80)
+    ]
+    estimator.calibrate(calibration)
+
+    print("Evaluating on 40 unseen trips...")
+    rng = np.random.default_rng(1)
+    test = [
+        scenario.generate(scenario.random_levels(rng), 0.35, rng)
+        for __ in range(40)
+    ]
+    result = estimator.evaluate(test)
+    print(f"  car-level positioning accuracy: {result.position_accuracy:.1%} "
+          f"(paper: 83%)")
+    print(f"  3-level congestion F-measure:   {result.congestion_f_measure:.2f} "
+          f"(paper: 0.82)")
+
+    # A live snapshot, as a dashboard would show it.
+    snapshot = test[0]
+    estimated = estimator.estimate_congestion(snapshot)
+    names = {CongestionLevel.LOW: "low", CongestionLevel.MEDIUM: "medium",
+             CongestionLevel.HIGH: "HIGH"}
+    print("\nLive snapshot (one train):")
+    print("  car | estimated | actual   | passengers")
+    for car in range(scenario.n_cars):
+        print(f"  {car:3d} | {names[estimated[car]]:9s} | "
+              f"{names[snapshot.car_levels[car]]:8s} | "
+              f"{snapshot.car_occupancy[car]:3d}")
+
+
+if __name__ == "__main__":
+    main()

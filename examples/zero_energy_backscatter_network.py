@@ -1,0 +1,73 @@
+"""A zero-energy IoT network: link budget, energy, and MAC coexistence.
+
+Walks through the paper's §I + §IV.A stack:
+
+1. the ambient-backscatter link budget (Fig. 1) — range and goodput;
+2. the 1/10,000 energy claim and what a harvested budget sustains;
+3. the backscatter-aware WLAN MAC of [64] vs. naive contention, as
+   device count grows and WLAN traffic thins out.
+
+Run:  python examples/zero_energy_backscatter_network.py
+"""
+
+import numpy as np
+
+from repro.backscatter import (
+    BackscatterTag,
+    ContentionBackscatterMac,
+    ScheduledBackscatterMac,
+    ambient_wifi_carrier,
+    BackscatterLink,
+    run_coexistence,
+    zigbee_2_4ghz,
+)
+from repro.energy import (
+    RADIO_PROFILES,
+    RadioEnergyModel,
+    backscatter_vs_active_ratio,
+    rf_field_trace,
+)
+
+
+def main():
+    # 1. Link budget.
+    print("=== Ambient backscatter link (Wi-Fi carrier) ===")
+    link = BackscatterLink(ambient_wifi_carrier(20.0), BackscatterTag())
+    for d in [1.0, 3.0, 6.0, 12.0]:
+        thr = link.effective_throughput_bps(2.0, d, payload_bits=256)
+        print(f"  tag->receiver {d:5.1f} m : goodput {thr / 1e3:8.1f} kbps")
+    print(f"  ZigBee testbed (Figs. 5-6) max range: "
+          f"{zigbee_2_4ghz().max_range_m(1.0):.1f} m")
+
+    # 2. Energy.
+    print("\n=== Energy budgets (paper: backscatter ~ 1/10,000 of Wi-Fi) ===")
+    for name, profile in RADIO_PROFILES.items():
+        print(f"  {name:12s} TX {profile.tx_power_w * 1e6:10.1f} uW")
+    print(f"  Wi-Fi / backscatter ratio: {backscatter_vs_active_ratio():,.0f}x")
+    harvested = 25e-6
+    for name in ["backscatter", "ble", "wifi"]:
+        duty = RadioEnergyModel.named(name).sustainable_duty_cycle(harvested)
+        print(f"  {name:12s} sustainable TX duty cycle on 25 uW harvest: "
+              f"{duty:.2%}")
+
+    # 3. MAC coexistence.
+    print("\n=== Backscatter MAC [64]: scheduled vs. contention ===")
+    print("  devices  WLAN pkt/s | scheduled err  contention err  dummies")
+    for n_devices in [5, 15, 30]:
+        for rate in [2.0, 50.0]:
+            sched = run_coexistence(
+                ScheduledBackscatterMac, n_devices, 1.0, rate, 120.0, seed=0
+            )
+            cont = run_coexistence(
+                ContentionBackscatterMac, n_devices, 1.0, rate, 120.0, seed=0
+            )
+            print(f"  {n_devices:7d}  {rate:10g} | "
+                  f"{sched.error_rate:13.3f}  {cont.error_rate:14.3f}  "
+                  f"{sched.dummy_packets:7d}")
+    print("\nThe registered-cycle scheduler keeps the error rate low in every "
+          "regime:\n  dummy carriers cover sparse WLAN traffic, and granting "
+          "one device per\n  carrier removes backscatter collisions entirely.")
+
+
+if __name__ == "__main__":
+    main()

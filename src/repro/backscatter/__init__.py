@@ -1,0 +1,69 @@
+"""Ambient backscatter: PHY link budget and the backscatter-aware MAC.
+
+Two halves, mirroring §I/§IV.A of the paper:
+
+- :mod:`repro.backscatter.phy` -- carrier sources, tags, and the
+  two-segment link budget (carrier -> tag -> receiver) with BER /
+  throughput / range predictions, plus the ZigBee-testbed
+  configuration of Figs. 5-6.
+- :mod:`repro.backscatter.mac` -- the cycle-registration MAC protocol
+  of reference [64] that lets wireless-LAN and backscatter traffic
+  coexist (scheduling + dummy packets), and the contention baseline it
+  is compared against (experiment E6).
+"""
+
+from repro.backscatter.phy import (
+    BackscatterLink,
+    BackscatterTag,
+    CarrierSource,
+    ambient_wifi_carrier,
+    dedicated_cw_carrier,
+    tv_tower_carrier,
+    zigbee_2_4ghz,
+)
+from repro.backscatter.mac import (
+    BackscatterDevice,
+    CoexistenceResult,
+    ContentionBackscatterMac,
+    ScheduledBackscatterMac,
+    WlanTrafficModel,
+    run_coexistence,
+)
+from repro.backscatter.netscatter import (
+    NetScatterConfig,
+    NetScatterReceiver,
+    concurrent_throughput_bps,
+    run_concurrent_trial,
+    tdma_throughput_bps,
+)
+from repro.backscatter.intertech import (
+    InterTechLink,
+    PUBLISHED_SYSTEMS,
+    TECHNOLOGIES,
+    published_link,
+)
+
+__all__ = [
+    "CarrierSource",
+    "BackscatterTag",
+    "BackscatterLink",
+    "ambient_wifi_carrier",
+    "tv_tower_carrier",
+    "dedicated_cw_carrier",
+    "zigbee_2_4ghz",
+    "BackscatterDevice",
+    "WlanTrafficModel",
+    "ScheduledBackscatterMac",
+    "ContentionBackscatterMac",
+    "CoexistenceResult",
+    "run_coexistence",
+    "NetScatterConfig",
+    "NetScatterReceiver",
+    "concurrent_throughput_bps",
+    "tdma_throughput_bps",
+    "run_concurrent_trial",
+    "InterTechLink",
+    "TECHNOLOGIES",
+    "PUBLISHED_SYSTEMS",
+    "published_link",
+]

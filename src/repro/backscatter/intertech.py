@@ -1,0 +1,145 @@
+"""Inter-technology backscatter (survey refs. [17][19][23][24]).
+
+The paper's second backscatter direction: *"generate ambient
+backscatter packets that can be received by existing wireless
+communication devices"* — Wi-Fi packets from Bluetooth carriers
+(Interscatter), ZigBee packets from Wi-Fi (Passive-ZigBee), Wi-Fi and
+LoRa packets from continuous waves (Passive Wi-Fi / LoRa Backscatter).
+
+The physical trick is *frequency-shifting* single-sideband
+backscatter: the tag toggles its impedance at ``delta_f`` so the
+reflected carrier lands ``delta_f`` away, inside the target
+technology's channel, while codeword translation shapes the reflected
+waveform into legal target symbols.
+
+This module models exactly that arithmetic: shift feasibility (the
+tag's switching-rate budget), sideband placement inside the target
+channel, the translated data rate, and the tag power — all checkable
+against the published systems, which the registry reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TechnologyProfile:
+    """Radio technology description used on either side of the link."""
+
+    name: str
+    center_hz: float
+    channel_width_hz: float
+    symbol_rate_hz: float
+
+
+TECHNOLOGIES: Dict[str, TechnologyProfile] = {
+    "bluetooth": TechnologyProfile("bluetooth", 2.426e9, 2e6, 1e6),
+    "wifi": TechnologyProfile("wifi", 2.412e9, 20e6, 11e6),
+    # ZigBee channel 20 (2.450 GHz): the shift from Wi-Fi channel 1
+    # clears the 20 MHz Wi-Fi band, as Passive-ZigBee arranges.
+    "zigbee": TechnologyProfile("zigbee", 2.450e9, 2e6, 250e3),
+    "lora": TechnologyProfile("lora", 915e6, 125e3, 5.5e3),
+    "cw": TechnologyProfile("cw", 2.45e9, 1e3, 0.0),
+    # A 915 MHz plug-in tone for LoRa Backscatter.
+    "cw-915": TechnologyProfile("cw-915", 915.5e6, 1e3, 0.0),
+}
+
+
+@dataclass
+class InterTechLink:
+    """One carrier-technology -> target-technology backscatter link.
+
+    Args:
+        carrier: the ambient signal the tag reflects.
+        target: the commodity receiver that must decode the result.
+        max_switch_rate_hz: the tag's RF-switch toggling budget
+            (sets the largest frequency shift and symbol rate).
+    """
+
+    carrier: TechnologyProfile
+    target: TechnologyProfile
+    max_switch_rate_hz: float = 50e6
+
+    @classmethod
+    def named(cls, carrier: str, target: str, **kwargs) -> "InterTechLink":
+        try:
+            return cls(TECHNOLOGIES[carrier], TECHNOLOGIES[target], **kwargs)
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown technology {exc.args[0]!r}; valid: "
+                f"{sorted(TECHNOLOGIES)}"
+            ) from None
+
+    @property
+    def frequency_shift_hz(self) -> float:
+        """The impedance-toggle frequency moving the reflection from
+        the carrier's channel into the target's channel."""
+        return abs(self.target.center_hz - self.carrier.center_hz)
+
+    @property
+    def shift_feasible(self) -> bool:
+        """Whether the tag's switch can produce the needed shift.
+
+        Single-sideband shifting needs toggling at the shift frequency
+        (with multi-phase switches); the budget must also leave room
+        for the target's symbol modulation on top.
+        """
+        return (
+            self.frequency_shift_hz + self.target.symbol_rate_hz
+            <= self.max_switch_rate_hz
+        )
+
+    @property
+    def in_band_collision(self) -> bool:
+        """Whether the shifted sideband still overlaps the carrier's
+        own channel (it would self-interfere at the receiver)."""
+        return self.frequency_shift_hz < (
+            self.carrier.channel_width_hz + self.target.channel_width_hz
+        ) / 2.0
+
+    @property
+    def feasible(self) -> bool:
+        """Overall: shift within budget and clear of the carrier band
+        (same-band links with zero shift are also fine: plain
+        backscatter)."""
+        if self.frequency_shift_hz == 0.0:
+            return self.target.symbol_rate_hz <= self.max_switch_rate_hz
+        return self.shift_feasible and not self.in_band_collision
+
+    @property
+    def data_rate_bps(self) -> float:
+        """Translated rate: the target's symbol rate, capped by the
+        switching budget left after the shift."""
+        budget = self.max_switch_rate_hz - self.frequency_shift_hz
+        if budget <= 0:
+            return 0.0
+        return float(min(self.target.symbol_rate_hz, budget))
+
+    def tag_power_w(self, joules_per_toggle: float = 1e-13) -> float:
+        """Tag power: toggles/second x energy per toggle.  At the
+        default CMOS-switch energy a 50 MHz budget stays in the
+        tens-of-uW band the paper cites."""
+        toggles = self.frequency_shift_hz + self.target.symbol_rate_hz
+        return toggles * joules_per_toggle
+
+
+#: Published systems the registry reproduces (paper's survey §II.A).
+PUBLISHED_SYSTEMS: Dict[str, Tuple[str, str]] = {
+    "passive-wifi": ("cw", "wifi"),           # NSDI'16 [23]
+    "interscatter": ("bluetooth", "wifi"),     # SIGCOMM'16 [19]
+    "passive-zigbee": ("wifi", "zigbee"),      # SenSys'18 [17]
+    "lora-backscatter": ("cw-915", "lora"),    # IMWUT'17 [24]
+}
+
+
+def published_link(name: str) -> InterTechLink:
+    """Build the link configuration of a published system."""
+    try:
+        carrier, target = PUBLISHED_SYSTEMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown system {name!r}; valid: {sorted(PUBLISHED_SYSTEMS)}"
+        ) from None
+    return InterTechLink.named(carrier, target)

@@ -1,0 +1,305 @@
+"""Backscatter-aware MAC protocol (paper reference [64]) and baseline.
+
+The paper: *"Only by registering the data acquisition cycle of each
+IoT device to the access point, the proposed MAC protocol enables the
+wireless LAN communication and backscatter communication to coexist
+with low overhead.  Scheduling ... includes which IoT device's
+backscatter communication is permitted, and whether the access point
+sends a dummy packet for backscattering."*
+
+:class:`ScheduledBackscatterMac` implements exactly that: the AP keeps
+a registry of device cycles, grants each WLAN transmission to at most
+one pending device (so backscatter transmissions never collide), and
+injects a dummy WLAN packet as carrier when a pending reading has
+waited too long — which costs WLAN airtime but bounds latency when
+WLAN traffic is sparse.
+
+:class:`ContentionBackscatterMac` is the no-coordination baseline:
+every pending device backscatters on whatever WLAN packet appears, so
+two or more pending devices collide, and with no dummy packets sparse
+WLAN traffic starves them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class BackscatterDevice:
+    """A periodic zero-energy sensing device.
+
+    Attributes:
+        device_id: identifier.
+        period_s: data-acquisition cycle registered with the AP.
+        payload_bits: reading size.
+    """
+
+    device_id: int
+    period_s: float
+    payload_bits: int = 128
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError(f"period must be positive, got {self.period_s}")
+
+
+@dataclass
+class WlanTrafficModel:
+    """Poisson WLAN packet arrivals at the access point."""
+
+    rate_pps: float          # mean packets per second
+    airtime_s: float = 1e-3  # airtime of one WLAN packet
+
+    def __post_init__(self) -> None:
+        if self.rate_pps < 0 or self.airtime_s <= 0:
+            raise ValueError("rate must be >= 0 and airtime positive")
+
+
+@dataclass
+class CoexistenceResult:
+    """Outcome counters for one coexistence run."""
+
+    duration_s: float = 0.0
+    readings_generated: int = 0
+    readings_delivered: int = 0
+    deadline_misses: int = 0
+    backscatter_collisions: int = 0
+    channel_errors: int = 0
+    wlan_packets: int = 0
+    dummy_packets: int = 0
+    wlan_airtime_s: float = 0.0
+    dummy_airtime_s: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def delivery_ratio(self) -> float:
+        if self.readings_generated == 0:
+            return 0.0
+        return self.readings_delivered / self.readings_generated
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of readings not delivered before their deadline."""
+        return 1.0 - self.delivery_ratio
+
+    @property
+    def dummy_overhead_fraction(self) -> float:
+        """Dummy airtime as a fraction of all WLAN airtime."""
+        total = self.wlan_airtime_s + self.dummy_airtime_s
+        return self.dummy_airtime_s / total if total else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else float("nan")
+
+
+class _MacBase:
+    """Shared machinery: reading generation and WLAN arrivals."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        devices: List[BackscatterDevice],
+        wlan: WlanTrafficModel,
+        rng: np.random.Generator,
+        channel_error: float = 0.05,
+    ) -> None:
+        if not devices:
+            raise ValueError("need at least one device")
+        if not 0.0 <= channel_error < 1.0:
+            raise ValueError(f"channel_error must be in [0, 1), got {channel_error}")
+        self.sim = sim
+        self.devices = {d.device_id: d for d in devices}
+        self.wlan = wlan
+        self.rng = rng
+        self.channel_error = channel_error
+        self.result = CoexistenceResult()
+        #: device_id -> generation time of the pending reading
+        self.pending: Dict[int, float] = {}
+
+    def start(self) -> None:
+        """Begin reading generation and WLAN traffic."""
+        for dev in self.devices.values():
+            # Random phase avoids pathological synchronization.
+            offset = float(self.rng.uniform(0.0, dev.period_s))
+            self.sim.schedule(offset, self._generate_reading, dev.device_id)
+        self._schedule_next_wlan_packet()
+
+    def _schedule_next_wlan_packet(self) -> None:
+        if self.wlan.rate_pps <= 0:
+            return
+        gap = float(self.rng.exponential(1.0 / self.wlan.rate_pps))
+        self.sim.schedule(gap, self._wlan_packet)
+
+    def _wlan_packet(self) -> None:
+        self.result.wlan_packets += 1
+        self.result.wlan_airtime_s += self.wlan.airtime_s
+        self._on_carrier(is_dummy=False)
+        self._schedule_next_wlan_packet()
+
+    def _generate_reading(self, device_id: int) -> None:
+        dev = self.devices[device_id]
+        if device_id in self.pending:
+            # Old reading still queued when the new one arrives: the
+            # old one has missed its deadline.
+            self.result.deadline_misses += 1
+            del self.pending[device_id]
+            self._on_reading_expired(device_id)
+        self.result.readings_generated += 1
+        self.pending[device_id] = self.sim.now
+        self._on_reading_ready(device_id)
+        self.sim.schedule(dev.period_s, self._generate_reading, device_id)
+
+    def _deliver(self, device_id: int) -> bool:
+        """Attempt delivery over the backscatter channel."""
+        if self.rng.random() < self.channel_error:
+            self.result.channel_errors += 1
+            return False
+        generated_at = self.pending.pop(device_id)
+        self.result.readings_delivered += 1
+        self.result.latencies.append(self.sim.now - generated_at)
+        return True
+
+    # Hooks for subclasses -------------------------------------------------
+    def _on_carrier(self, is_dummy: bool) -> None:
+        raise NotImplementedError
+
+    def _on_reading_ready(self, device_id: int) -> None:
+        pass
+
+    def _on_reading_expired(self, device_id: int) -> None:
+        pass
+
+
+class ScheduledBackscatterMac(_MacBase):
+    """The proposed cycle-registration MAC of [64].
+
+    The AP serves pending devices FIFO, one per carrier, and emits a
+    dummy carrier when the head of the queue has waited longer than
+    ``max_wait_fraction`` of its period.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        devices: List[BackscatterDevice],
+        wlan: WlanTrafficModel,
+        rng: np.random.Generator,
+        channel_error: float = 0.05,
+        max_wait_fraction: float = 0.25,
+    ) -> None:
+        super().__init__(sim, devices, wlan, rng, channel_error)
+        if not 0.0 < max_wait_fraction <= 1.0:
+            raise ValueError(
+                f"max_wait_fraction must be in (0, 1], got {max_wait_fraction}"
+            )
+        self.max_wait_fraction = max_wait_fraction
+        self._queue: List[int] = []  # FIFO of pending device ids
+
+    def _on_reading_ready(self, device_id: int) -> None:
+        self._queue.append(device_id)
+        dev = self.devices[device_id]
+        wait = dev.period_s * self.max_wait_fraction
+        self.sim.schedule(wait, self._dummy_deadline, device_id, self.sim.now)
+
+    def _on_reading_expired(self, device_id: int) -> None:
+        if device_id in self._queue:
+            self._queue.remove(device_id)
+
+    def _dummy_deadline(self, device_id: int, generated_at: float) -> None:
+        # Still the same pending reading, still undelivered: send a
+        # dummy carrier for it.
+        if self.pending.get(device_id) != generated_at:
+            return
+        self.result.dummy_packets += 1
+        self.result.dummy_airtime_s += self.wlan.airtime_s
+        self._on_carrier(is_dummy=True)
+
+    def _on_carrier(self, is_dummy: bool) -> None:
+        while self._queue and self._queue[0] not in self.pending:
+            self._queue.pop(0)  # stale entry (expired reading)
+        if not self._queue:
+            return
+        device_id = self._queue[0]
+        if self._deliver(device_id):
+            self._queue.pop(0)
+        # On channel error the reading stays at the head for the next
+        # carrier (the AP knows delivery failed).
+
+
+class ContentionBackscatterMac(_MacBase):
+    """Uncoordinated baseline: every pending device backscatters on
+    every carrier it hears.
+
+    Two or more simultaneous backscatter transmissions collide and all
+    fail; devices optionally gate their attempts with probability
+    ``attempt_probability`` (a p-persistent flavor).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        devices: List[BackscatterDevice],
+        wlan: WlanTrafficModel,
+        rng: np.random.Generator,
+        channel_error: float = 0.05,
+        attempt_probability: float = 1.0,
+    ) -> None:
+        super().__init__(sim, devices, wlan, rng, channel_error)
+        if not 0.0 < attempt_probability <= 1.0:
+            raise ValueError(
+                f"attempt_probability must be in (0, 1], got {attempt_probability}"
+            )
+        self.attempt_probability = attempt_probability
+
+    def _on_carrier(self, is_dummy: bool) -> None:
+        attempters = [
+            d
+            for d in self.pending
+            if self.attempt_probability >= 1.0
+            or self.rng.random() < self.attempt_probability
+        ]
+        if not attempters:
+            return
+        if len(attempters) > 1:
+            self.result.backscatter_collisions += len(attempters)
+            return
+        self._deliver(attempters[0])
+
+
+def run_coexistence(
+    mac_class,
+    n_devices: int,
+    device_period_s: float,
+    wlan_rate_pps: float,
+    duration_s: float,
+    seed: int,
+    channel_error: float = 0.05,
+    **mac_kwargs,
+) -> CoexistenceResult:
+    """Build and run one coexistence scenario; returns its result.
+
+    This is the workhorse of experiment E6's parameter sweeps.
+    """
+    if n_devices <= 0:
+        raise ValueError(f"n_devices must be positive, got {n_devices}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    devices = [
+        BackscatterDevice(device_id=i, period_s=device_period_s)
+        for i in range(n_devices)
+    ]
+    wlan = WlanTrafficModel(rate_pps=wlan_rate_pps)
+    mac = mac_class(sim, devices, wlan, rng, channel_error=channel_error, **mac_kwargs)
+    mac.start()
+    sim.run(until=duration_s)
+    mac.result.duration_s = duration_s
+    return mac.result

@@ -1,0 +1,101 @@
+"""Context-recognition applications (the paper's §III.C scenarios).
+
+Each module is an end-to-end pipeline built on the substrates:
+
+- :mod:`repro.contexts.fall` -- fall detection of elders on the IR
+  sensor array with MicroDeep (scenario (i), Fig. 9/10).
+- :mod:`repro.contexts.discomfort` -- lounge discomfort detection
+  (the paper's first MicroDeep experiment).
+- :mod:`repro.contexts.localization` -- device-free CSI localization
+  (the CSI learning system [8]).
+- :mod:`repro.contexts.congestion` -- car-level train congestion and
+  position estimation from Bluetooth RSSI [65].
+- :mod:`repro.contexts.crowd` -- room crowd counting from
+  synchronized inter-node / surrounding RSSI [66].
+- :mod:`repro.contexts.sociogram` -- kindergarten sociogram
+  construction from tag contact logs (scenario (iv)).
+- :mod:`repro.contexts.tagarray` -- RFID tag-array body sensing:
+  phase-based displacement and periodic vital-sign extraction
+  (RF-ECG / RF-Kinect style, scenario (ii)).
+"""
+
+from repro.contexts.fall import FallDetectionPipeline, build_fall_cnn
+from repro.contexts.discomfort import DiscomfortPipeline, build_lounge_cnn
+from repro.contexts.localization import CsiLocalizationPipeline
+from repro.contexts.congestion import CongestionEstimator
+from repro.contexts.crowd import CrowdCounter
+from repro.contexts.sociogram import SociogramBuilder, simulate_playground_contacts
+from repro.contexts.tagarray import TagArraySensor, estimate_periodicity
+from repro.contexts.intrusion import (
+    EntityKind,
+    IntrusionDetector,
+    PerimeterSimulator,
+    crossing_direction,
+    crossing_features,
+)
+from repro.contexts.slope import SlopeMonitor, SlopeSimulator
+from repro.contexts.fusion import (
+    DirectSensingField,
+    FusionEvaluation,
+    FusionLocalizer,
+)
+from repro.contexts.gesture import GestureRecognizer
+from repro.contexts.motionfi import (
+    Posture,
+    PostureClassifier,
+    RepetitionCounter,
+    count_repetitions,
+)
+from repro.contexts.trajectory import (
+    MISSED,
+    CellWorld,
+    TrajectorySimulator,
+    ViterbiTracker,
+)
+from repro.contexts.hvac import (
+    AutonomousHvacController,
+    ComfortPolicy,
+    HvacZone,
+    LoungeThermalModel,
+    default_lounge,
+    run_closed_loop,
+)
+
+__all__ = [
+    "FallDetectionPipeline",
+    "build_fall_cnn",
+    "DiscomfortPipeline",
+    "build_lounge_cnn",
+    "CsiLocalizationPipeline",
+    "CongestionEstimator",
+    "CrowdCounter",
+    "SociogramBuilder",
+    "simulate_playground_contacts",
+    "TagArraySensor",
+    "estimate_periodicity",
+    "EntityKind",
+    "IntrusionDetector",
+    "PerimeterSimulator",
+    "crossing_features",
+    "crossing_direction",
+    "SlopeSimulator",
+    "SlopeMonitor",
+    "AutonomousHvacController",
+    "ComfortPolicy",
+    "HvacZone",
+    "LoungeThermalModel",
+    "default_lounge",
+    "run_closed_loop",
+    "GestureRecognizer",
+    "CellWorld",
+    "TrajectorySimulator",
+    "ViterbiTracker",
+    "MISSED",
+    "Posture",
+    "PostureClassifier",
+    "RepetitionCounter",
+    "count_repetitions",
+    "DirectSensingField",
+    "FusionLocalizer",
+    "FusionEvaluation",
+]

@@ -1,0 +1,200 @@
+"""Car-level congestion and position estimation (experiment E4).
+
+Implements the method of paper ref. [65]:
+
+1. **Car-level positioning** — likelihood functions built from
+   preliminary (calibration) data: RSSI between a phone and a
+   reference node is modelled as a Gaussian whose parameters depend on
+   how many cars apart they are (inter-car doors dominate).  A phone's
+   car is the maximum-likelihood car; the posterior probability is its
+   *reliability*.
+2. **Congestion estimation** — each phone makes a local three-level
+   estimate from RSSI features (body shadowing grows with occupancy),
+   and the car's level is decided by **majority voting weighted by the
+   reliability of the estimated positions** — the paper's exact rule.
+
+The paper reports 83 % car-level positioning accuracy and a
+three-level F-measure of 0.82.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml import GaussianNaiveBayes, accuracy, macro_f_measure
+from repro.sensing.rssi.train import (
+    CongestionLevel,
+    TrainObservation,
+    TrainScenario,
+)
+
+
+@dataclass
+class PositionEstimate:
+    """One phone's estimated car and its reliability (posterior)."""
+
+    car: int
+    reliability: float
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregate scores over a set of test observations."""
+
+    position_accuracy: float
+    congestion_f_measure: float
+    congestion_accuracy: float
+
+
+class CongestionEstimator:
+    """Calibrate-then-estimate pipeline for train trips.
+
+    Args:
+        scenario: geometry source (reference positions, car count).
+    """
+
+    def __init__(self, scenario: TrainScenario) -> None:
+        self.scenario = scenario
+        self._refs = scenario.reference_positions()
+        # RSSI statistics per car-distance: distance -> (mean, std)
+        self._rssi_stats: Dict[int, Tuple[float, float]] = {}
+        self._level_model: Optional[GaussianNaiveBayes] = None
+
+    # -- calibration ---------------------------------------------------------
+    def calibrate(self, observations: Sequence[TrainObservation]) -> None:
+        """Build the likelihood functions from labeled snapshots."""
+        if not observations:
+            raise ValueError("need at least one calibration observation")
+        samples: Dict[int, List[float]] = {}
+        features, labels = [], []
+        for obs in observations:
+            for (phone, ref), rssi in obs.ref_rssi.items():
+                d = abs(obs.phone_car[phone] - self._refs[ref][0])
+                samples.setdefault(d, []).append(rssi)
+            feats = self._phone_features(obs, truth_positions=True)
+            for phone, feat in feats.items():
+                features.append(feat)
+                labels.append(int(obs.car_levels[obs.phone_car[phone]]))
+        self._rssi_stats = {
+            d: (float(np.mean(v)), max(float(np.std(v)), 1.0))
+            for d, v in samples.items()
+        }
+        self._level_model = GaussianNaiveBayes().fit(
+            np.asarray(features), np.asarray(labels)
+        )
+
+    def _log_likelihood(self, rssi: float, car_distance: int) -> float:
+        stats = self._rssi_stats.get(car_distance)
+        if stats is None:
+            # Unseen distance: use the largest calibrated distance.
+            stats = self._rssi_stats[max(self._rssi_stats)]
+        mu, sigma = stats
+        z = (rssi - mu) / sigma
+        return -0.5 * z * z - np.log(sigma)
+
+    # -- positioning ---------------------------------------------------------
+    def estimate_positions(
+        self, obs: TrainObservation
+    ) -> Dict[int, PositionEstimate]:
+        """ML car estimate + posterior reliability for every phone."""
+        if not self._rssi_stats:
+            raise RuntimeError("estimator has not been calibrated")
+        out: Dict[int, PositionEstimate] = {}
+        n_cars = self.scenario.n_cars
+        for phone in obs.phone_car:
+            scores = np.zeros(n_cars)
+            for ref, (ref_car, __) in self._refs.items():
+                rssi = obs.ref_rssi[(phone, ref)]
+                for car in range(n_cars):
+                    scores[car] += self._log_likelihood(rssi, abs(car - ref_car))
+            posterior = np.exp(scores - scores.max())
+            posterior /= posterior.sum()
+            car = int(posterior.argmax())
+            out[phone] = PositionEstimate(
+                car=car, reliability=float(posterior[car])
+            )
+        return out
+
+    # -- congestion ------------------------------------------------------------
+    def _phone_features(
+        self,
+        obs: TrainObservation,
+        truth_positions: bool = False,
+        positions: Optional[Dict[int, PositionEstimate]] = None,
+    ) -> Dict[int, np.ndarray]:
+        """Per-phone congestion features.
+
+        [mean same-car ref RSSI, mean RSSI to phones in the same car,
+        number of same-car phones heard]
+        """
+        if truth_positions:
+            car_of = dict(obs.phone_car)
+        else:
+            car_of = {p: est.car for p, est in positions.items()}
+        feats: Dict[int, np.ndarray] = {}
+        for phone, car in car_of.items():
+            same_refs = [
+                obs.ref_rssi[(phone, r)]
+                for r, (ref_car, __) in self._refs.items()
+                if ref_car == car
+            ]
+            peer_rssi = []
+            for (p1, p2), rssi in obs.phone_rssi.items():
+                if phone not in (p1, p2):
+                    continue
+                other = p2 if p1 == phone else p1
+                if car_of.get(other) == car:
+                    peer_rssi.append(rssi)
+            feats[phone] = np.array([
+                float(np.mean(same_refs)) if same_refs else -90.0,
+                float(np.mean(peer_rssi)) if peer_rssi else -90.0,
+                float(len(peer_rssi)),
+            ])
+        return feats
+
+    def estimate_congestion(
+        self, obs: TrainObservation
+    ) -> List[CongestionLevel]:
+        """Per-car levels by reliability-weighted majority voting."""
+        if self._level_model is None:
+            raise RuntimeError("estimator has not been calibrated")
+        positions = self.estimate_positions(obs)
+        feats = self._phone_features(obs, positions=positions)
+        votes = np.zeros((self.scenario.n_cars, 3))
+        phones = sorted(feats)
+        matrix = np.stack([feats[p] for p in phones])
+        local_levels = self._level_model.predict(matrix)
+        for phone, level in zip(phones, local_levels):
+            est = positions[phone]
+            votes[est.car, int(level)] += est.reliability
+        out = []
+        for car in range(self.scenario.n_cars):
+            if votes[car].sum() == 0:
+                out.append(CongestionLevel.LOW)  # no evidence: assume empty
+            else:
+                out.append(CongestionLevel(int(votes[car].argmax())))
+        return out
+
+    # -- evaluation ------------------------------------------------------------
+    def evaluate(
+        self, observations: Sequence[TrainObservation]
+    ) -> EvaluationResult:
+        """Score positioning and congestion over test snapshots."""
+        pos_true, pos_pred = [], []
+        lvl_true, lvl_pred = [], []
+        for obs in observations:
+            positions = self.estimate_positions(obs)
+            for phone, est in positions.items():
+                pos_true.append(obs.phone_car[phone])
+                pos_pred.append(est.car)
+            levels = self.estimate_congestion(obs)
+            lvl_true.extend(int(l) for l in obs.car_levels)
+            lvl_pred.extend(int(l) for l in levels)
+        return EvaluationResult(
+            position_accuracy=accuracy(pos_true, pos_pred),
+            congestion_f_measure=macro_f_measure(lvl_true, lvl_pred, num_classes=3),
+            congestion_accuracy=accuracy(lvl_true, lvl_pred),
+        )

@@ -1,0 +1,109 @@
+"""Room crowd counting from synchronized RSSI (experiment E5).
+
+Implements the two estimators of paper ref. [66]:
+
+- the **number of people** from the inter-node RSSI (people crossing
+  links attenuate them), via a classifier over the round's link
+  statistics;
+- the **number of devices** from the surrounding RSSI (each person's
+  phones/wearables raise the ambient level), via a least-squares fit
+  of the ambient model.
+
+The paper reports ~79 % exact-count accuracy with errors up to two
+people.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ml import (
+    GaussianNaiveBayes,
+    accuracy,
+    mean_absolute_error,
+    within_k_accuracy,
+)
+from repro.ml.base import Classifier
+from repro.sensing.rssi.room import RoomObservation
+
+
+@dataclass
+class CrowdEvaluation:
+    """Scores over a test set."""
+
+    people_accuracy: float
+    people_within_2: float
+    people_mae: float
+    device_mae: float
+
+
+class CrowdCounter:
+    """Fit/predict wrapper over room observations.
+
+    Args:
+        classifier: people-count model (defaults to Gaussian NB over
+            the 4 link-statistic features).
+    """
+
+    def __init__(self, classifier: Optional[Classifier] = None) -> None:
+        self.classifier = (
+            classifier if classifier is not None else GaussianNaiveBayes()
+        )
+        self._device_coef: Optional[np.ndarray] = None
+        self._fitted = False
+
+    @staticmethod
+    def _features(observations: Sequence[RoomObservation]) -> np.ndarray:
+        return np.stack([obs.feature_vector() for obs in observations])
+
+    @staticmethod
+    def _ambient_means(observations: Sequence[RoomObservation]) -> np.ndarray:
+        return np.array([obs.round.mean_surrounding() for obs in observations])
+
+    def fit(self, observations: Sequence[RoomObservation]) -> "CrowdCounter":
+        """Train both estimators on labeled rounds."""
+        if not observations:
+            raise ValueError("need at least one observation")
+        x = self._features(observations)
+        people = np.array([obs.n_people for obs in observations])
+        self.classifier.fit(x, people)
+        # Device estimator: n_devices ~ a * exp(ambient shift) form is
+        # linear in expm1 space of the offset above the quietest round.
+        ambient = self._ambient_means(observations)
+        devices = np.array([obs.n_devices for obs in observations])
+        base = ambient.min()
+        design = np.stack([np.expm1((ambient - base) / 3.6), np.ones_like(ambient)])
+        coef, *__ = np.linalg.lstsq(design.T, devices, rcond=None)
+        self._device_coef = np.concatenate([coef, [base]])
+        self._fitted = True
+        return self
+
+    def predict_people(self, observations: Sequence[RoomObservation]) -> np.ndarray:
+        """Estimated head counts."""
+        if not self._fitted:
+            raise RuntimeError("counter has not been fitted")
+        return self.classifier.predict(self._features(observations))
+
+    def predict_devices(self, observations: Sequence[RoomObservation]) -> np.ndarray:
+        """Estimated device counts (continuous, floored at 0)."""
+        if not self._fitted:
+            raise RuntimeError("counter has not been fitted")
+        a, b, base = self._device_coef
+        ambient = self._ambient_means(observations)
+        return np.maximum(0.0, a * np.expm1((ambient - base) / 3.6) + b)
+
+    def evaluate(self, observations: Sequence[RoomObservation]) -> CrowdEvaluation:
+        """Score both estimators on labeled test rounds."""
+        people_true = np.array([obs.n_people for obs in observations])
+        devices_true = np.array([obs.n_devices for obs in observations])
+        people_pred = self.predict_people(observations)
+        devices_pred = self.predict_devices(observations)
+        return CrowdEvaluation(
+            people_accuracy=accuracy(people_true, people_pred),
+            people_within_2=within_k_accuracy(people_true, people_pred, 2),
+            people_mae=mean_absolute_error(people_true, people_pred),
+            device_mae=mean_absolute_error(devices_true, devices_pred),
+        )

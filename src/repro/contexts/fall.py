@@ -1,0 +1,158 @@
+"""Fall detection on the IR sensor array (experiment E1).
+
+The paper's CNN: *one convolutional layer, one pooling layer and two
+fully-connected layers*, fed 10-frame (2 s) windows of the IR stream
+as 3-D arrays.  This module builds that CNN at two parameter settings
+— the accuracy-optimal one and the communication-feasible one of
+Fig. 10 — and runs the full MicroDeep pipeline: placement, training
+(exact or local), and per-node communication-cost measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import (
+    CommunicationCostModel,
+    CostReport,
+    MicroDeepTrainer,
+    Placement,
+    UnitGraph,
+    centralized_assignment,
+    grid_correspondence_assignment,
+)
+from repro.nn import Adam, Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+from repro.nn.training import TrainingHistory
+from repro.wsn import GridTopology
+
+
+def build_fall_cnn(
+    window: int = 10,
+    grid_hw: Tuple[int, int] = (8, 8),
+    filters: int = 8,
+    hidden: int = 32,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """The paper's fall-detection CNN: conv -> pool -> FC -> FC.
+
+    Args:
+        window: frames per input (the channel dimension).
+        grid_hw: IR array resolution.
+        filters: conv filters ("optimal" uses more, "feasible" fewer).
+        hidden: width of the first fully-connected layer.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    model = Sequential([
+        Conv2D(filters, 3, padding="same"),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        Dense(hidden),
+        ReLU(),
+        Dense(2),
+    ])
+    model.build((window,) + tuple(grid_hw), rng)
+    return model
+
+
+#: Fig. 10's two configurations: (a) parameters tuned for accuracy,
+#: (b) the feasible set used with the heuristic assignment.
+OPTIMAL_PARAMS = {"filters": 8, "hidden": 32}
+FEASIBLE_PARAMS = {"filters": 4, "hidden": 16}
+
+
+@dataclass
+class FallRunResult:
+    """Outcome of one pipeline run."""
+
+    accuracy: float
+    model: object
+    history: TrainingHistory
+    cost_report: CostReport
+    placement: Placement
+    node_ids: List[int]
+
+    @property
+    def max_comm_cost(self) -> int:
+        return self.cost_report.max_rx()
+
+    def node_costs(self) -> List[int]:
+        """Per-node costs in node-id order (the Fig. 10 series)."""
+        return self.cost_report.node_costs(self.node_ids)
+
+
+class FallDetectionPipeline:
+    """End-to-end MicroDeep fall detection.
+
+    Args:
+        node_grid: sensor-node layout carrying the CNN.
+        window / grid_hw: input tensor geometry.
+    """
+
+    def __init__(
+        self,
+        node_grid: Tuple[int, int] = (4, 4),
+        window: int = 10,
+        grid_hw: Tuple[int, int] = (8, 8),
+    ) -> None:
+        self.node_grid = node_grid
+        self.window = window
+        self.grid_hw = grid_hw
+
+    def run(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        rng: np.random.Generator,
+        params: Dict[str, int] = None,
+        assignment: str = "heuristic",
+        update_mode: str = "local",
+        epochs: int = 12,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+    ) -> FallRunResult:
+        """Train and evaluate one configuration.
+
+        Args:
+            params: CNN hyperparameters (:data:`OPTIMAL_PARAMS` /
+                :data:`FEASIBLE_PARAMS`).
+            assignment: ``"heuristic"`` (grid correspondence) or
+                ``"centralized"``.
+            update_mode: ``"local"`` or ``"exact"`` backprop.
+        """
+        if assignment not in ("heuristic", "centralized"):
+            raise ValueError(
+                f"assignment must be 'heuristic' or 'centralized', got {assignment!r}"
+            )
+        params = params if params is not None else dict(OPTIMAL_PARAMS)
+        model = build_fall_cnn(
+            window=self.window, grid_hw=self.grid_hw, rng=rng, **params
+        )
+        graph = UnitGraph(model)
+        topology = GridTopology(*self.node_grid)
+        if assignment == "heuristic":
+            placement = grid_correspondence_assignment(graph, topology)
+        else:
+            placement = centralized_assignment(graph, topology)
+        trainer = MicroDeepTrainer(
+            graph, placement, Adam(lr=lr), update_mode=update_mode
+        )
+        history = trainer.fit(
+            x_train, y_train, epochs=epochs, batch_size=batch_size, rng=rng,
+            x_val=x_test, y_val=y_test, patience=4,
+        )
+        __, accuracy = trainer.evaluate(x_test, y_test)
+        cost = CommunicationCostModel(graph, topology).inference_cost(placement)
+        return FallRunResult(
+            accuracy=accuracy,
+            model=model,
+            history=history,
+            cost_report=cost,
+            placement=placement,
+            node_ids=sorted(topology.nodes),
+        )

@@ -1,0 +1,77 @@
+"""Gesture recognition pipeline (§II.B survey: WiAG / SignFi /
+keystrokes).
+
+Wraps the CSI gesture scenario and a classifier into a learn/infer
+system like the paper's CSI learning system [8], but with gesture
+labels instead of positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ml import KNeighborsClassifier, StandardScaler, accuracy, confusion_matrix
+from repro.ml.base import Classifier
+from repro.sensing.csi.gesture import CsiGestureScenario, Gesture
+
+
+@dataclass
+class GestureEvaluation:
+    """Recognition scores on a test set."""
+
+    accuracy: float
+    confusion: np.ndarray
+
+
+class GestureRecognizer:
+    """Learn/infer wrapper for the gesture vocabulary.
+
+    Args:
+        scenario: the capture setup.
+        classifier: defaults to 3-NN on the sequence features.
+    """
+
+    def __init__(
+        self,
+        scenario: Optional[CsiGestureScenario] = None,
+        classifier: Optional[Classifier] = None,
+    ) -> None:
+        self.scenario = scenario if scenario is not None else CsiGestureScenario()
+        self.classifier = (
+            classifier if classifier is not None else KNeighborsClassifier(k=3)
+        )
+        self._scaler = StandardScaler()
+        self._fitted = False
+
+    def learn(self, x: np.ndarray, y: np.ndarray) -> "GestureRecognizer":
+        self.classifier.fit(self._scaler.fit_transform(x), y)
+        self._fitted = True
+        return self
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("recognizer has not been trained; call learn()")
+        return self.classifier.predict(self._scaler.transform(x))
+
+    def evaluate(
+        self,
+        executions_per_gesture: int,
+        rng: np.random.Generator,
+        test_fraction: float = 0.3,
+    ) -> GestureEvaluation:
+        """Generate data, train, and score one round."""
+        from repro.ml import train_test_split
+
+        x, y = self.scenario.generate_dataset(executions_per_gesture, rng)
+        x_tr, x_te, y_tr, y_te = train_test_split(
+            x, y, test_fraction, rng, stratify=True
+        )
+        self.learn(x_tr, y_tr)
+        preds = self.infer(x_te)
+        return GestureEvaluation(
+            accuracy=accuracy(y_te, preds),
+            confusion=confusion_matrix(y_te, preds, num_classes=len(Gesture)),
+        )

@@ -1,0 +1,188 @@
+"""Scenario (vi): autonomous air-conditioning management.
+
+The paper: *"Autonomous air conditioning management of commercial
+facilities might be also possible"* — the lounge deployment of §IV.C
+closed into a loop: the distributed sensor network senses the
+temperature field, the discomfort detector (the E2 CNN, or the plain
+comfort-band rule) localizes uncomfortable regions, and a zone
+controller steers each HVAC zone's set point to pull its region back
+into the comfort band.
+
+The simulation is a first-order thermal model per cell: ambient and
+window drives push the field, each HVAC zone pulls its neighbourhood
+toward its commanded set point, and the controller updates commands
+from zone-level discomfort votes each step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+
+@dataclass
+class HvacZone:
+    """One conditioned zone: a Gaussian influence footprint."""
+
+    center: Tuple[float, float]
+    sigma: float = 3.5
+    setpoint_c: float = 24.0
+    min_setpoint_c: float = 18.0
+    max_setpoint_c: float = 28.0
+
+    def influence(self, rows: int, cols: int) -> np.ndarray:
+        yy, xx = np.mgrid[0:rows, 0:cols]
+        cy, cx = self.center
+        return np.exp(-((yy - cy) ** 2 + (xx - cx) ** 2) / (2 * self.sigma**2))
+
+    def command(self, setpoint_c: float) -> None:
+        """Clamp and apply a new set point."""
+        self.setpoint_c = float(
+            np.clip(setpoint_c, self.min_setpoint_c, self.max_setpoint_c)
+        )
+
+
+@dataclass
+class LoungeThermalModel:
+    """First-order spatio-temporal thermal simulation of the lounge.
+
+    Attributes:
+        rows/cols: cell grid (the paper's 17 x 25).
+        zones: HVAC zones acting on the field.
+        ambient_c: outside/ambient drive per step (callable of step).
+        window_heat_c: midday window load amplitude.
+        coupling: per-step pull of HVAC toward its set point (0..1).
+    """
+
+    rows: int = 17
+    cols: int = 25
+    zones: List[HvacZone] = field(default_factory=list)
+    ambient_c: Callable[[int], float] = lambda step: 27.0
+    window_heat_c: float = 4.0
+    coupling: float = 0.25
+    smoothing: float = 1.2
+
+    def __post_init__(self) -> None:
+        self.field = np.full((self.rows, self.cols), 26.0)
+        self._window = np.exp(
+            -(self.cols - 1 - np.mgrid[0 : self.rows, 0 : self.cols][1]) / 3.0
+        )
+
+    def step(self, step_index: int, rng: np.random.Generator) -> np.ndarray:
+        """Advance one control period; returns the new field."""
+        drive = self.ambient_c(step_index)
+        sun = max(0.0, np.sin(2 * np.pi * ((step_index % 48) / 48 - 0.25)))
+        target = drive + self.window_heat_c * sun * self._window
+        # Relax toward the driven state...
+        self.field += 0.3 * (target - self.field)
+        # ...while each zone pulls its footprint toward its set point.
+        for zone in self.zones:
+            footprint = zone.influence(self.rows, self.cols)
+            self.field += (
+                self.coupling * footprint * (zone.setpoint_c - self.field)
+            )
+        self.field = gaussian_filter(self.field, self.smoothing)
+        self.field += rng.normal(0.0, 0.1, size=self.field.shape)
+        return self.field.copy()
+
+
+class ComfortPolicy:
+    """Comfort-band rule shared by the sensors and the controller."""
+
+    def __init__(self, low_c: float = 22.0, high_c: float = 27.5) -> None:
+        if low_c >= high_c:
+            raise ValueError("comfort band is empty")
+        self.low_c = low_c
+        self.high_c = high_c
+
+    def discomfort_fraction(self, field: np.ndarray) -> float:
+        outside = (field < self.low_c) | (field > self.high_c)
+        return float(outside.mean())
+
+    def zone_error(self, field: np.ndarray, zone: HvacZone) -> float:
+        """Mean signed deviation from the band inside a zone's
+        footprint (positive = too hot)."""
+        weights = zone.influence(field.shape[0], field.shape[1])
+        hot = np.clip(field - self.high_c, 0.0, None)
+        cold = np.clip(self.low_c - field, 0.0, None)
+        signed = hot - cold
+        return float((signed * weights).sum() / weights.sum())
+
+
+class AutonomousHvacController:
+    """Per-zone integral controller driven by zone discomfort votes.
+
+    Each step, every zone's set point moves against its zone error —
+    too-hot zones cool down their set point, too-cold zones raise it.
+
+    Args:
+        policy: the comfort band.
+        gain: set-point change per degree of zone error per step.
+    """
+
+    def __init__(self, policy: ComfortPolicy, gain: float = 0.8) -> None:
+        if gain <= 0:
+            raise ValueError("gain must be positive")
+        self.policy = policy
+        self.gain = gain
+
+    def control_step(self, field: np.ndarray, zones: List[HvacZone]) -> None:
+        for zone in zones:
+            error = self.policy.zone_error(field, zone)
+            zone.command(zone.setpoint_c - self.gain * error)
+
+
+@dataclass
+class HvacRunResult:
+    """Closed-loop simulation outcome."""
+
+    discomfort_trace: List[float]
+    setpoint_traces: Dict[int, List[float]]
+
+    @property
+    def mean_discomfort(self) -> float:
+        return float(np.mean(self.discomfort_trace))
+
+    @property
+    def final_discomfort(self) -> float:
+        return self.discomfort_trace[-1]
+
+
+def run_closed_loop(
+    model: LoungeThermalModel,
+    controller: Optional[AutonomousHvacController],
+    n_steps: int,
+    rng: np.random.Generator,
+) -> HvacRunResult:
+    """Run the lounge for ``n_steps`` control periods.
+
+    Pass ``controller=None`` for the uncontrolled baseline (fixed set
+    points).
+    """
+    if n_steps < 1:
+        raise ValueError("need at least one step")
+    policy = controller.policy if controller else ComfortPolicy()
+    trace: List[float] = []
+    setpoints: Dict[int, List[float]] = {i: [] for i in range(len(model.zones))}
+    for step in range(n_steps):
+        field = model.step(step, rng)
+        trace.append(policy.discomfort_fraction(field))
+        if controller is not None:
+            controller.control_step(field, model.zones)
+        for i, zone in enumerate(model.zones):
+            setpoints[i].append(zone.setpoint_c)
+    return HvacRunResult(discomfort_trace=trace, setpoint_traces=setpoints)
+
+
+def default_lounge(ambient_c: float = 29.0) -> LoungeThermalModel:
+    """The standard four-zone lounge used by tests and examples."""
+    zones = [
+        HvacZone(center=(4.0, 6.0)),
+        HvacZone(center=(4.0, 18.0)),
+        HvacZone(center=(12.0, 6.0)),
+        HvacZone(center=(12.0, 18.0)),
+    ]
+    return LoungeThermalModel(zones=zones, ambient_c=lambda step: ambient_c)

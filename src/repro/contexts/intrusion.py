@@ -1,0 +1,226 @@
+"""Scenario (iii): trajectory tracking and wild-animal intrusion
+detection.
+
+The paper: *"tracking human trajectories and detecting intrusion of
+wild animals"* — survey ref. [46] classifies humans vs. animals with a
+CNN.  Our zero-energy variant watches a perimeter with the film-type
+IR arrays of §IV.C: a crossing entity triggers a short IR sequence;
+the detector extracts body-geometry and gait features and classifies
+``human`` / ``deer`` / ``boar``; the crossing direction comes from the
+centroid drift.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml import RandomForestClassifier, accuracy, confusion_matrix
+from repro.ml.base import Classifier
+
+
+class EntityKind(enum.IntEnum):
+    """Perimeter-crossing entity classes."""
+
+    HUMAN = 0
+    DEER = 1
+    BOAR = 2
+
+
+#: Body model per entity: height = body-centroid elevation above the
+#: ground as a fraction of the array (humans stand tall, boars hug the
+#: ground), body width, speed range (cells/frame), gait bounce
+#: frequency (1/frames), IR warmth.
+ENTITY_PROFILES = {
+    EntityKind.HUMAN: {"height": 0.60, "width": 0.9, "speed": (0.10, 0.22),
+                       "gait_hz": 1.0 / 6.0, "warmth": 1.0},
+    EntityKind.DEER: {"height": 0.45, "width": 1.8, "speed": (0.25, 0.50),
+                      "gait_hz": 1.0 / 4.0, "warmth": 0.9},
+    EntityKind.BOAR: {"height": 0.15, "width": 2.2, "speed": (0.18, 0.40),
+                      "gait_hz": 1.0 / 3.0, "warmth": 1.1},
+}
+
+
+@dataclass
+class CrossingEvent:
+    """One perimeter crossing captured by an IR array.
+
+    Attributes:
+        frames: ``(n_frames, rows, cols)`` IR sequence.
+        kind: ground-truth entity.
+        direction: +1 = left-to-right, -1 = right-to-left.
+    """
+
+    frames: np.ndarray
+    kind: EntityKind
+    direction: int
+
+
+class PerimeterSimulator:
+    """Renders crossing events on a border-mounted IR array."""
+
+    def __init__(
+        self,
+        grid_rows: int = 8,
+        grid_cols: int = 8,
+        n_frames: int = 40,
+        noise: float = 0.05,
+    ) -> None:
+        if grid_rows < 4 or grid_cols < 4:
+            raise ValueError("array must be at least 4x4")
+        self.grid_rows = grid_rows
+        self.grid_cols = grid_cols
+        self.n_frames = n_frames
+        self.noise = noise
+
+    def render_crossing(
+        self, kind: EntityKind, rng: np.random.Generator
+    ) -> CrossingEvent:
+        """One crossing of the given entity, random direction."""
+        profile = ENTITY_PROFILES[kind]
+        direction = 1 if rng.random() < 0.5 else -1
+        speed = float(rng.uniform(*profile["speed"])) * direction
+        # Ground line sits at the bottom; body center height above it.
+        body_y = self.grid_rows - 1 - profile["height"] * self.grid_rows
+        x = -1.0 if direction > 0 else self.grid_cols
+        yy, xx = np.mgrid[0 : self.grid_rows, 0 : self.grid_cols]
+        frames = np.zeros((self.n_frames, self.grid_rows, self.grid_cols))
+        for f in range(self.n_frames):
+            bounce = 0.3 * np.sin(2 * np.pi * profile["gait_hz"] * f)
+            cy = body_y + bounce
+            blob = np.exp(
+                -(((yy - cy) ** 2) / 1.5
+                  + ((xx - x) ** 2) / (2.0 * profile["width"] ** 2))
+            )
+            frames[f] = profile["warmth"] * blob
+            x += speed
+        frames += rng.normal(0.0, self.noise, size=frames.shape)
+        return CrossingEvent(frames=frames, kind=kind, direction=direction)
+
+    def generate_dataset(
+        self, events_per_kind: int, rng: np.random.Generator
+    ) -> List[CrossingEvent]:
+        """Balanced crossings over all entity kinds, shuffled."""
+        if events_per_kind < 1:
+            raise ValueError("events_per_kind must be >= 1")
+        events = [
+            self.render_crossing(kind, rng)
+            for kind in EntityKind
+            for __ in range(events_per_kind)
+        ]
+        order = rng.permutation(len(events))
+        return [events[i] for i in order]
+
+
+def crossing_features(event: CrossingEvent) -> np.ndarray:
+    """Geometry + motion features of one crossing.
+
+    [mean centroid height, height spread, body width proxy, horizontal
+    speed magnitude, gait-bounce frequency, total warmth]
+    """
+    frames = np.clip(event.frames, 0.0, None)
+    n_frames, rows, cols = frames.shape
+    row_idx = np.arange(rows)
+    col_idx = np.arange(cols)
+    cys, cxs, widths, warmth = [], [], [], []
+    for f in range(n_frames):
+        total = frames[f].sum()
+        if total < 1e-6:
+            continue
+        cy = (frames[f].sum(axis=1) * row_idx).sum() / total
+        cx = (frames[f].sum(axis=0) * col_idx).sum() / total
+        spread = np.sqrt(
+            ((frames[f].sum(axis=0) * (col_idx - cx) ** 2).sum() / total)
+        )
+        cys.append(cy)
+        cxs.append(cx)
+        widths.append(spread)
+        warmth.append(total)
+    if len(cys) < 4:
+        return np.zeros(6)
+    cys = np.asarray(cys)
+    cxs = np.asarray(cxs)
+    speed = float(np.abs(np.diff(cxs)).mean())
+    # Dominant bounce frequency of the vertical centroid.
+    detrended = cys - cys.mean()
+    spectrum = np.abs(np.fft.rfft(detrended)) ** 2
+    spectrum[0] = 0.0
+    gait_bin = int(spectrum.argmax())
+    gait_hz = gait_bin / len(detrended)
+    return np.array([
+        float(cys.mean()),
+        float(cys.std()),
+        float(np.mean(widths)),
+        speed,
+        gait_hz,
+        float(np.mean(warmth)),
+    ])
+
+
+def crossing_direction(event: CrossingEvent) -> int:
+    """+1 for left-to-right, -1 for right-to-left, from centroid drift."""
+    frames = np.clip(event.frames, 0.0, None)
+    col_idx = np.arange(frames.shape[2])
+    cxs = []
+    for f in range(frames.shape[0]):
+        total = frames[f].sum()
+        if total > 1e-6:
+            cxs.append((frames[f].sum(axis=0) * col_idx).sum() / total)
+    if len(cxs) < 2:
+        return 0
+    return 1 if cxs[-1] >= cxs[0] else -1
+
+
+@dataclass
+class IntrusionEvaluation:
+    """Detector scores on a test set."""
+
+    kind_accuracy: float
+    direction_accuracy: float
+    confusion: np.ndarray
+
+
+class IntrusionDetector:
+    """Feature-based human/animal classifier for crossings.
+
+    Args:
+        classifier: defaults to a small random forest (robust on the
+            six-dimensional feature vector).
+    """
+
+    def __init__(self, classifier: Optional[Classifier] = None) -> None:
+        self.classifier = (
+            classifier
+            if classifier is not None
+            else RandomForestClassifier(n_trees=20, max_depth=6, seed=0)
+        )
+        self._fitted = False
+
+    def fit(self, events: Sequence[CrossingEvent]) -> "IntrusionDetector":
+        if not events:
+            raise ValueError("need at least one training event")
+        x = np.stack([crossing_features(e) for e in events])
+        y = np.array([int(e.kind) for e in events])
+        self.classifier.fit(x, y)
+        self._fitted = True
+        return self
+
+    def classify(self, events: Sequence[CrossingEvent]) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("detector has not been fitted")
+        x = np.stack([crossing_features(e) for e in events])
+        return self.classifier.predict(x)
+
+    def evaluate(self, events: Sequence[CrossingEvent]) -> IntrusionEvaluation:
+        preds = self.classify(events)
+        truth = np.array([int(e.kind) for e in events])
+        directions = np.array([crossing_direction(e) for e in events])
+        true_dirs = np.array([e.direction for e in events])
+        return IntrusionEvaluation(
+            kind_accuracy=accuracy(truth, preds),
+            direction_accuracy=float((directions == true_dirs).mean()),
+            confusion=confusion_matrix(truth, preds, num_classes=len(EntityKind)),
+        )

@@ -1,0 +1,220 @@
+"""Scenario (v): wind and ground-fluctuation monitoring of slopes.
+
+The paper: *"There are several types of ultra-low power accelerometers
+using environmental power.  Combining such devices and backscatter
+communication devices, we might be able to construct a monitoring
+system for grasping wind speeds and ground fluctuation of sloping
+lands"* (disaster / landslide watch, survey ref. [45]).
+
+The model: spring-accelerometer transducers (zero-energy, threshold
+contacts — :mod:`repro.energy.transducers`) are staked across a slope.
+Wind shakes every node a little (duty cycle of contact closures tracks
+wind speed); a *ground event* (creep or shock preceding a slide)
+shakes a spatially-contiguous patch hard.  The monitor estimates wind
+from the network-wide closure duty cycle and raises a landslide alarm
+with k-of-n spatial fusion, which rejects single-node noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.energy.transducers import SpringAccelerometer, ZeroEnergySensorReadout
+from repro.wsn.topology import GridTopology
+
+
+@dataclass
+class SlopeWindow:
+    """One observation window from the slope network.
+
+    Attributes:
+        closures: node id -> fraction of samples with contact closed.
+        wind_speed_mps: ground-truth wind.
+        event_nodes: nodes inside the ground event patch (empty when
+            quiet).
+    """
+
+    closures: Dict[int, float]
+    wind_speed_mps: float
+    event_nodes: List[int] = field(default_factory=list)
+
+    @property
+    def has_event(self) -> bool:
+        return bool(self.event_nodes)
+
+
+class SlopeSimulator:
+    """Generates slope observation windows.
+
+    Args:
+        rows/cols/spacing: stake layout on the slope.
+        samples_per_window: accelerometer samples per window.
+        wind_gain_g_per_mps: vibration amplitude per m/s of wind.
+        event_amplitude_g: shaking inside a ground-event patch.
+        threshold_g: spring contact preload.
+    """
+
+    def __init__(
+        self,
+        rows: int = 4,
+        cols: int = 6,
+        spacing: float = 10.0,
+        samples_per_window: int = 100,
+        wind_gain_g_per_mps: float = 0.04,
+        event_amplitude_g: float = 1.2,
+        threshold_g: float = 0.5,
+    ) -> None:
+        if samples_per_window < 10:
+            raise ValueError("need at least 10 samples per window")
+        self.topology = GridTopology(rows, cols, spacing)
+        self.samples_per_window = samples_per_window
+        self.wind_gain = wind_gain_g_per_mps
+        self.event_amplitude = event_amplitude_g
+        self.threshold_g = threshold_g
+
+    def _node_closure_fraction(
+        self,
+        vibration_g: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """Fraction of window samples with the contact closed for a
+        Rayleigh-distributed vibration envelope of the given scale."""
+        sensor = SpringAccelerometer(threshold_g=self.threshold_g)
+        readout = ZeroEnergySensorReadout(sensor)
+        envelope = rng.rayleigh(max(vibration_g, 1e-6),
+                                size=self.samples_per_window)
+        states = readout.sense_series(envelope, rng)
+        return float(states.mean())
+
+    def observe(
+        self,
+        wind_speed_mps: float,
+        rng: np.random.Generator,
+        event_center: Optional[Tuple[int, int]] = None,
+        event_radius: float = 1.5,
+    ) -> SlopeWindow:
+        """One window at the given wind, with an optional ground event
+        centered at grid position ``event_center``."""
+        if wind_speed_mps < 0:
+            raise ValueError("wind speed cannot be negative")
+        event_nodes: List[int] = []
+        if event_center is not None:
+            cy, cx = event_center
+            center_node = self.topology.node_at(cy, cx)
+            for node in self.topology:
+                d = node.distance_to(center_node)
+                if d <= event_radius * self.topology.spacing:
+                    event_nodes.append(node.node_id)
+        closures = {}
+        for node in self.topology:
+            vibration = self.wind_gain * wind_speed_mps
+            if node.node_id in event_nodes:
+                vibration += self.event_amplitude
+            closures[node.node_id] = self._node_closure_fraction(vibration, rng)
+        return SlopeWindow(
+            closures=closures,
+            wind_speed_mps=wind_speed_mps,
+            event_nodes=event_nodes,
+        )
+
+
+@dataclass
+class SlopeAssessment:
+    """Monitor output for one window."""
+
+    wind_estimate_mps: float
+    alarm: bool
+    alarming_nodes: List[int]
+
+
+class SlopeMonitor:
+    """Wind estimation + k-of-n landslide alarm fusion.
+
+    Calibrate with quiet windows at known winds, then assess live
+    windows.
+
+    Args:
+        node_alarm_closure: per-node closure fraction that marks the
+            node as alarming.
+        k_of_n: alarming nodes needed for a network-level alarm.
+    """
+
+    def __init__(
+        self,
+        node_alarm_closure: float = 0.6,
+        k_of_n: int = 3,
+        max_alarm_fraction: float = 0.6,
+    ) -> None:
+        if not 0.0 < node_alarm_closure < 1.0:
+            raise ValueError("node_alarm_closure must be in (0, 1)")
+        if k_of_n < 1:
+            raise ValueError("k_of_n must be >= 1")
+        if not 0.0 < max_alarm_fraction <= 1.0:
+            raise ValueError("max_alarm_fraction must be in (0, 1]")
+        self.node_alarm_closure = node_alarm_closure
+        self.k_of_n = k_of_n
+        self.max_alarm_fraction = max_alarm_fraction
+        self._wind_curve: Optional[np.ndarray] = None  # (winds, closures)
+
+    def calibrate_wind(
+        self, windows: Sequence[SlopeWindow]
+    ) -> "SlopeMonitor":
+        """Fit the wind -> mean closure curve from quiet windows."""
+        quiet = [w for w in windows if not w.has_event]
+        if len(quiet) < 2:
+            raise ValueError("need at least two quiet calibration windows")
+        winds = np.array([w.wind_speed_mps for w in quiet])
+        closures = np.array([np.mean(list(w.closures.values())) for w in quiet])
+        order = np.argsort(closures)
+        self._wind_curve = np.stack([closures[order], winds[order]])
+        return self
+
+    def assess(self, window: SlopeWindow) -> SlopeAssessment:
+        """Wind estimate and alarm decision for one window."""
+        if self._wind_curve is None:
+            raise RuntimeError("monitor has not been calibrated")
+        alarming = [
+            node
+            for node, closure in window.closures.items()
+            if closure >= self.node_alarm_closure
+        ]
+        # Wind estimate from the *non-alarming* nodes so an event
+        # patch doesn't masquerade as a storm.
+        calm = [
+            c for n, c in window.closures.items() if n not in set(alarming)
+        ]
+        mean_closure = float(np.mean(calm)) if calm else 1.0
+        wind = float(
+            np.interp(mean_closure, self._wind_curve[0], self._wind_curve[1])
+        )
+        # A ground event shakes a *localized patch*; a storm shakes the
+        # whole slope.  Alarm only when enough nodes exceed threshold
+        # AND they remain a minority of the network.
+        localized = len(alarming) <= self.max_alarm_fraction * len(window.closures)
+        return SlopeAssessment(
+            wind_estimate_mps=wind,
+            alarm=self.k_of_n <= len(alarming) and localized,
+            alarming_nodes=sorted(alarming),
+        )
+
+    def evaluate(
+        self, windows: Sequence[SlopeWindow]
+    ) -> Tuple[float, float, float]:
+        """(detection rate, false-alarm rate, wind MAE) over windows."""
+        detections, false_alarms, wind_errors = [], [], []
+        for window in windows:
+            result = self.assess(window)
+            if window.has_event:
+                detections.append(result.alarm)
+            else:
+                false_alarms.append(result.alarm)
+                wind_errors.append(
+                    abs(result.wind_estimate_mps - window.wind_speed_mps)
+                )
+        detection = float(np.mean(detections)) if detections else float("nan")
+        false_rate = float(np.mean(false_alarms)) if false_alarms else 0.0
+        wind_mae = float(np.mean(wind_errors)) if wind_errors else float("nan")
+        return detection, false_rate, wind_mae

@@ -1,0 +1,125 @@
+"""Distributed forward execution.
+
+The executor runs the CNN's real arithmetic (distribution does not
+change the math) while replaying the placement's cross-node transfers
+over a :class:`repro.wsn.Network`, so per-node traffic is *measured*,
+not just modelled.  It also supports node-failure masking: units
+hosted on dead nodes produce zeros, the behaviour the resilience
+experiment (E8) quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+from repro.core.assignment import Placement
+from repro.core.costmodel import CommunicationCostModel
+from repro.core.unitgraph import UnitGraph
+from repro.nn.model import Sequential
+from repro.wsn.network import Message, Network
+
+
+class DistributedExecutor:
+    """Executes a placed CNN over a sensor network.
+
+    Args:
+        model: built Sequential model.
+        graph: its unit graph.
+        placement: unit-to-node mapping.
+        network: the WSN network layer carrying the messages.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        graph: UnitGraph,
+        placement: Placement,
+        network: Network,
+    ) -> None:
+        if graph.model is not model:
+            raise ValueError("graph was not extracted from this model")
+        self.model = model
+        self.graph = graph
+        self.placement = placement
+        self.network = network
+        self._cost_model = CommunicationCostModel(graph, network.topology)
+        self._transfer_list = None
+
+    def _transfers(self):
+        if self._transfer_list is None:
+            self._transfer_list = self._cost_model.transfers(self.placement)
+        return self._transfer_list
+
+    def forward(
+        self, x: np.ndarray, count_traffic: bool = True
+    ) -> np.ndarray:
+        """Distributed forward pass.
+
+        When ``count_traffic`` is set, every cross-node transfer of one
+        inference is sent through the network layer **once per batch
+        element** (each inference pays its own traffic).
+
+        Returns:
+            The model logits (identical to the centralized forward).
+        """
+        if count_traffic:
+            batch = x.shape[0]
+            for layer_index, src, dst, n_values in self._transfers():
+                for __ in range(batch):
+                    self.network.unicast(
+                        Message(src=src, dst=dst, n_values=n_values,
+                                kind=f"layer{layer_index}")
+                    )
+        return self.model.forward(x, training=False)
+
+    def predict(self, x: np.ndarray, count_traffic: bool = False) -> np.ndarray:
+        """Class predictions from the distributed forward pass."""
+        return self.forward(x, count_traffic=count_traffic).argmax(axis=-1)
+
+    def measured_cost_report(self):
+        """Static cost for comparison with the measured network stats."""
+        return self._cost_model.inference_cost(self.placement)
+
+    # -- fault injection ----------------------------------------------------
+    def forward_masked(
+        self, x: np.ndarray, dead_nodes: Iterable[int]
+    ) -> np.ndarray:
+        """Forward pass with the given nodes failed.
+
+        Input cells measured by dead sensors read zero, and every unit
+        hosted on a dead node outputs zero — its value never reaches
+        the downstream consumers.  This is the paper's §V scenario:
+        "a part of tiny IoT devices may be broken".
+        """
+        dead: Set[int] = set(dead_nodes)
+        if not dead:
+            return self.model.forward(x, training=False)
+        x = np.array(x, copy=True)
+        h, w = self.graph.input_hw
+        for (iy, ix), node in self.placement.input_node.items():
+            if node in dead:
+                x[:, :, iy, ix] = 0.0
+        out = x
+        for entry in self.graph.layers:
+            out = entry.layer.forward(out, training=False)
+            if entry.kind == "spatial":
+                for pos in entry.output_positions():
+                    if self.placement.node_of(entry.index, pos) in dead:
+                        out[:, :, pos[0], pos[1]] = 0.0
+            elif entry.kind == "flat":
+                for unit in entry.output_positions():
+                    if self.placement.node_of(entry.index, unit) in dead:
+                        out[:, unit] = 0.0
+        return out
+
+    def accuracy_under_faults(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        dead_nodes: Iterable[int],
+    ) -> float:
+        """Classification accuracy with the given nodes failed."""
+        preds = self.forward_masked(x, dead_nodes).argmax(axis=-1)
+        return float((preds == np.asarray(y)).mean())

@@ -1,0 +1,226 @@
+"""Distributed training: exact vs. local backpropagation.
+
+The paper: *"The backpropagation process is carried out in a
+distributed fashion ... Weights of units are updated independently by
+each sensor node to avoid communication overhead, sacrificing some
+accuracy."*
+
+Two update modes:
+
+- ``"exact"`` — full backpropagation: mathematically identical to the
+  centralized CNN, but every gradient that crosses a node boundary
+  would have to be transmitted (expensive on a WSN).
+- ``"local"`` — the MicroDeep approximation: each node backpropagates
+  only through the units it hosts.  Parameter gradients stay exact
+  (the forward pass already delivered the cross-node *activations*),
+  but gradient flow **to units on other nodes is dropped**, so deeper
+  layers see truncated error signals.  No gradient messages are
+  exchanged at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Placement
+from repro.core.unitgraph import LayerUnits, UnitGraph
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.optimizers import Optimizer
+from repro.nn.training import TrainingHistory
+
+
+class MicroDeepTrainer:
+    """Trains a placed CNN with distributed backpropagation.
+
+    Args:
+        graph: unit graph of the (built) model.
+        placement: unit-to-node mapping.
+        optimizer: update rule.
+        update_mode: ``"exact"`` or ``"local"`` (see module docstring).
+        loss: defaults to softmax cross-entropy.
+    """
+
+    def __init__(
+        self,
+        graph: UnitGraph,
+        placement: Placement,
+        optimizer: Optimizer,
+        update_mode: str = "local",
+        loss: Optional[CrossEntropyLoss] = None,
+    ) -> None:
+        if update_mode not in ("exact", "local"):
+            raise ValueError(
+                f"update_mode must be 'exact' or 'local', got {update_mode!r}"
+            )
+        self.graph = graph
+        self.model = graph.model
+        self.placement = placement
+        self.optimizer = optimizer
+        self.update_mode = update_mode
+        self.loss = loss if loss is not None else CrossEntropyLoss()
+        self._masks = self._build_masks() if update_mode == "local" else None
+
+    # -- mask construction ---------------------------------------------------
+    def _input_owner_of_layer(self, entry: LayerUnits):
+        """Owner of each input slot of ``entry``.
+
+        Returns ``("spatial", {(y, x): node})`` or
+        ``("flat", {j: node})``.
+        """
+        prev_idx = entry.index - 1
+        while prev_idx >= 0 and self.graph.layers[prev_idx].kind == "flatten":
+            prev_idx -= 1
+        if prev_idx < 0:
+            return "spatial", dict(self.placement.input_node)
+        prev = self.graph.layers[prev_idx]
+        owners = {
+            slot: self.placement.node_of(prev.index, slot)
+            for slot in prev.output_positions()
+        }
+        if prev.kind == "spatial" and entry.kind == "flat":
+            # Crossing the flatten boundary: expand (y, x) ownership to
+            # flattened indices j = c*H*W + y*W + x.
+            h, w = prev.out_hw
+            c = prev.out_values
+            flat_owners = {}
+            for (y, x), node in owners.items():
+                for ch in range(c):
+                    flat_owners[ch * h * w + y * w + x] = node
+            return "flat", flat_owners
+        kind = "spatial" if prev.kind == "spatial" else "flat"
+        return kind, owners
+
+    def _build_masks(self) -> Dict[int, Dict[int, Tuple[np.ndarray, np.ndarray]]]:
+        """Per-layer, per-node (out_mask, in_mask) arrays.
+
+        Masks broadcast over the batch (and channel, for spatial
+        layers) dimensions.  Only layers that cut gradient flow get
+        masks: spatial non-elementwise and dense layers.
+        """
+        masks: Dict[int, Dict[int, Tuple[np.ndarray, np.ndarray]]] = {}
+        for entry in self.graph.layers:
+            if entry.kind == "flatten" or entry.layer.is_elementwise:
+                continue
+            in_kind, in_owner = self._input_owner_of_layer(entry)
+            per_node: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+            if entry.kind == "spatial":
+                h_out, w_out = entry.out_hw
+                h_in, w_in = entry.in_hw
+                nodes = {
+                    self.placement.node_of(entry.index, pos)
+                    for pos in entry.output_positions()
+                }
+                for node in nodes:
+                    out_mask = np.zeros((1, 1, h_out, w_out))
+                    for pos in entry.output_positions():
+                        if self.placement.node_of(entry.index, pos) == node:
+                            out_mask[0, 0, pos[0], pos[1]] = 1.0
+                    in_mask = np.zeros((1, 1, h_in, w_in))
+                    for pos, owner in in_owner.items():
+                        if owner == node:
+                            in_mask[0, 0, pos[0], pos[1]] = 1.0
+                    per_node[node] = (out_mask, in_mask)
+            else:  # dense
+                n_units = entry.n_units
+                n_in = entry.in_units
+                nodes = {
+                    self.placement.node_of(entry.index, u)
+                    for u in range(n_units)
+                }
+                for node in nodes:
+                    out_mask = np.zeros((1, n_units))
+                    for u in range(n_units):
+                        if self.placement.node_of(entry.index, u) == node:
+                            out_mask[0, u] = 1.0
+                    in_mask = np.zeros((1, n_in))
+                    for j, owner in in_owner.items():
+                        if owner == node:
+                            in_mask[0, j] = 1.0
+                    per_node[node] = (out_mask, in_mask)
+            masks[entry.index] = per_node
+        return masks
+
+    # -- backward ------------------------------------------------------------
+    def _backward(self, grad: np.ndarray) -> None:
+        """Backpropagate through the model in the selected mode."""
+        if self.update_mode == "exact":
+            self.model.backward(grad)
+            return
+        for entry in reversed(self.graph.layers):
+            layer = entry.layer
+            if entry.kind == "flatten" or layer.is_elementwise:
+                grad = layer.backward(grad)
+                continue
+            per_node = self._masks[entry.index]
+            total = None
+            for node, (out_mask, in_mask) in per_node.items():
+                grad_in = layer.backward(grad * out_mask)
+                contribution = grad_in * in_mask
+                total = contribution if total is None else total + contribution
+            grad = total
+
+    # -- training loop ---------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int,
+        batch_size: int,
+        rng: np.random.Generator,
+        x_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+        patience: Optional[int] = None,
+    ) -> TrainingHistory:
+        """Mini-batch training; mirrors :class:`repro.nn.Trainer.fit`
+        but with the distributed backward pass."""
+        history = TrainingHistory()
+        n = x.shape[0]
+        best_acc = -np.inf
+        best_weights = None
+        stale = 0
+        for __ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            correct = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                xb, yb = x[idx], y[idx]
+                self.model.zero_grads()
+                logits = self.model.forward(xb, training=True)
+                batch_loss = self.loss.forward(logits, yb)
+                self._backward(self.loss.backward())
+                self.optimizer.step(self.model.param_slots())
+                epoch_loss += batch_loss * len(idx)
+                correct += int((logits.argmax(axis=-1) == yb).sum())
+            history.train_loss.append(epoch_loss / n)
+            history.train_accuracy.append(correct / n)
+            if x_val is not None and y_val is not None:
+                val_loss, val_acc = self.evaluate(x_val, y_val)
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(val_acc)
+                if val_acc > best_acc:
+                    best_acc = val_acc
+                    best_weights = self.model.get_weights()
+                    stale = 0
+                else:
+                    stale += 1
+                if patience is not None and stale >= patience:
+                    break
+        if best_weights is not None:
+            self.model.set_weights(best_weights)
+        return history
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256):
+        """``(mean_loss, accuracy)`` on the given data."""
+        n = x.shape[0]
+        total_loss = 0.0
+        correct = 0
+        for start in range(0, n, batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            logits = self.model.forward(xb, training=False)
+            total_loss += self.loss.forward(logits, yb) * len(xb)
+            correct += int((logits.argmax(axis=-1) == yb).sum())
+        return total_loss / n, correct / n

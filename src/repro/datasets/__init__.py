@@ -1,0 +1,26 @@
+"""Synthetic dataset generators.
+
+These replace the paper's private testbed captures (DESIGN.md §5 lists
+the substitutions):
+
+- :mod:`repro.datasets.lounge` -- the 25 x 17-cell lounge temperature
+  field (2,961 samples) behind the discomfort-detection experiment.
+- :mod:`repro.datasets.ir_gait` -- the film-type IR sensor array gait
+  streams (55 samples, 66 frames, 5 subjects) behind the
+  fall-detection experiment, windowed into 10-frame 3-D arrays.
+"""
+
+from repro.datasets.lounge import LoungeDatasetConfig, generate_lounge_dataset
+from repro.datasets.ir_gait import (
+    IrGaitConfig,
+    generate_ir_gait_episodes,
+    windows_from_episodes,
+)
+
+__all__ = [
+    "LoungeDatasetConfig",
+    "generate_lounge_dataset",
+    "IrGaitConfig",
+    "generate_ir_gait_episodes",
+    "windows_from_episodes",
+]

@@ -1,0 +1,60 @@
+"""Energy harvesting and radio power budgets.
+
+Models the zero-energy device substrate of the paper: harvesters
+(RF, solar, thermal, vibration), a capacitor energy store,
+harvesting-trace generation, radio energy models (conventional Wi-Fi /
+BLE / ZigBee versus ambient backscatter at ~10 uW, the paper's
+1/10,000 claim), and an intermittent-computing power manager that
+decides when a harvested device can sense/compute/transmit.
+"""
+
+from repro.energy.harvesters import (
+    Harvester,
+    PiecewiseTraceHarvester,
+    RFHarvester,
+    SolarHarvester,
+    ThermalHarvester,
+    VibrationHarvester,
+)
+from repro.energy.capacitor import Capacitor
+from repro.energy.traces import HarvestingTrace, diurnal_solar_trace, rf_field_trace
+from repro.energy.budget import (
+    RADIO_PROFILES,
+    RadioEnergyModel,
+    backscatter_vs_active_ratio,
+)
+from repro.energy.manager import IntermittentPowerManager, TaskSpec
+from repro.energy.transducers import (
+    BimetallicSwitch,
+    HydrogelResonator,
+    MechanicalChopper,
+    SpringAccelerometer,
+    Transducer,
+    ZeroEnergySensorReadout,
+    chopper_rate_to_flow,
+)
+
+__all__ = [
+    "Transducer",
+    "BimetallicSwitch",
+    "HydrogelResonator",
+    "SpringAccelerometer",
+    "MechanicalChopper",
+    "ZeroEnergySensorReadout",
+    "chopper_rate_to_flow",
+    "Harvester",
+    "PiecewiseTraceHarvester",
+    "RFHarvester",
+    "SolarHarvester",
+    "ThermalHarvester",
+    "VibrationHarvester",
+    "Capacitor",
+    "HarvestingTrace",
+    "diurnal_solar_trace",
+    "rf_field_trace",
+    "RADIO_PROFILES",
+    "RadioEnergyModel",
+    "backscatter_vs_active_ratio",
+    "IntermittentPowerManager",
+    "TaskSpec",
+]

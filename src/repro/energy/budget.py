@@ -1,0 +1,102 @@
+"""Radio energy models and the paper's backscatter-vs-active claim.
+
+Section I of the paper: conventional wireless spends tens to hundreds
+of mW on the power amplifier, BLE is on the order of mW, and ambient
+backscatter cuts this to ~10 uW — about 1/10,000.  These profiles make
+that claim checkable (experiment E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class RadioProfile:
+    """Power and rate characteristics of one radio technology."""
+
+    name: str
+    tx_power_w: float       # power drawn while transmitting
+    rx_power_w: float       # power drawn while receiving/listening
+    sleep_power_w: float    # deep-sleep floor
+    bitrate_bps: float      # effective payload bitrate
+
+
+#: Representative commercial profiles (orders of magnitude from the
+#: paper and the backscatter literature it cites).
+RADIO_PROFILES: Dict[str, RadioProfile] = {
+    "wifi": RadioProfile("wifi", tx_power_w=300e-3, rx_power_w=100e-3,
+                         sleep_power_w=10e-6, bitrate_bps=20e6),
+    "ble": RadioProfile("ble", tx_power_w=10e-3, rx_power_w=10e-3,
+                        sleep_power_w=1e-6, bitrate_bps=1e6),
+    "zigbee": RadioProfile("zigbee", tx_power_w=60e-3, rx_power_w=60e-3,
+                           sleep_power_w=2e-6, bitrate_bps=250e3),
+    "lora": RadioProfile("lora", tx_power_w=120e-3, rx_power_w=12e-3,
+                         sleep_power_w=1.5e-6, bitrate_bps=5.5e3),
+    "backscatter": RadioProfile("backscatter", tx_power_w=10e-6,
+                                rx_power_w=10e-6, sleep_power_w=0.1e-6,
+                                bitrate_bps=1e6),
+}
+
+
+class RadioEnergyModel:
+    """Energy accounting for a radio profile."""
+
+    def __init__(self, profile: RadioProfile) -> None:
+        self.profile = profile
+
+    @classmethod
+    def named(cls, name: str) -> "RadioEnergyModel":
+        """Construct from a :data:`RADIO_PROFILES` key."""
+        try:
+            return cls(RADIO_PROFILES[name])
+        except KeyError:
+            raise KeyError(
+                f"unknown radio {name!r}; valid: {sorted(RADIO_PROFILES)}"
+            ) from None
+
+    def tx_energy_j(self, payload_bits: int) -> float:
+        """Energy to transmit a payload at the profile bitrate."""
+        if payload_bits < 0:
+            raise ValueError(f"payload_bits must be non-negative, got {payload_bits}")
+        airtime = payload_bits / self.profile.bitrate_bps
+        return self.profile.tx_power_w * airtime
+
+    def rx_energy_j(self, payload_bits: int) -> float:
+        """Energy to receive a payload at the profile bitrate."""
+        airtime = payload_bits / self.profile.bitrate_bps
+        return self.profile.rx_power_w * airtime
+
+    def duty_cycle_power_w(
+        self, tx_fraction: float, rx_fraction: float
+    ) -> float:
+        """Average power for a duty cycle split between TX, RX, sleep."""
+        if tx_fraction < 0 or rx_fraction < 0 or tx_fraction + rx_fraction > 1:
+            raise ValueError("fractions must be non-negative and sum to <= 1")
+        sleep = 1.0 - tx_fraction - rx_fraction
+        p = self.profile
+        return (
+            tx_fraction * p.tx_power_w
+            + rx_fraction * p.rx_power_w
+            + sleep * p.sleep_power_w
+        )
+
+    def sustainable_duty_cycle(self, harvested_power_w: float) -> float:
+        """Largest TX duty cycle (0..1) a harvest budget can sustain,
+        with the remainder spent asleep."""
+        p = self.profile
+        if harvested_power_w <= p.sleep_power_w:
+            return 0.0
+        cycle = (harvested_power_w - p.sleep_power_w) / (
+            p.tx_power_w - p.sleep_power_w
+        )
+        return min(1.0, cycle)
+
+
+def backscatter_vs_active_ratio(active: str = "wifi") -> float:
+    """TX-power ratio active-radio / backscatter (the paper's ~10,000x)."""
+    return (
+        RADIO_PROFILES[active].tx_power_w
+        / RADIO_PROFILES["backscatter"].tx_power_w
+    )

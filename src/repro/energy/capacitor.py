@@ -1,0 +1,82 @@
+"""Capacitor energy-store model."""
+
+from __future__ import annotations
+
+
+class Capacitor:
+    """Energy store with capacity and turn-on/brown-out thresholds.
+
+    State is energy in joules; voltage-domain effects are folded into
+    the thresholds, which is the standard abstraction in
+    intermittent-computing simulators.
+
+    Args:
+        capacity_j: maximum stored energy.
+        turn_on_j: the device can start working at/above this level.
+        brown_out_j: the device dies below this level.
+    """
+
+    def __init__(
+        self,
+        capacity_j: float,
+        turn_on_j: float = 0.0,
+        brown_out_j: float = 0.0,
+        initial_j: float = 0.0,
+    ) -> None:
+        if capacity_j <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_j}")
+        if not 0.0 <= brown_out_j <= turn_on_j <= capacity_j:
+            raise ValueError(
+                "thresholds must satisfy 0 <= brown_out <= turn_on <= capacity"
+            )
+        if not 0.0 <= initial_j <= capacity_j:
+            raise ValueError(f"initial energy {initial_j} outside [0, {capacity_j}]")
+        self.capacity_j = capacity_j
+        self.turn_on_j = turn_on_j
+        self.brown_out_j = brown_out_j
+        self._energy = initial_j
+        self.total_harvested_j = 0.0
+        self.total_consumed_j = 0.0
+        self.total_wasted_j = 0.0  # harvest that arrived while full
+
+    @property
+    def energy_j(self) -> float:
+        return self._energy
+
+    @property
+    def full(self) -> bool:
+        return self._energy >= self.capacity_j
+
+    @property
+    def can_turn_on(self) -> bool:
+        return self._energy >= self.turn_on_j
+
+    @property
+    def browned_out(self) -> bool:
+        return self._energy < self.brown_out_j
+
+    def harvest(self, energy_j: float) -> float:
+        """Add harvested energy; returns the amount actually stored
+        (overflow is wasted and accounted)."""
+        if energy_j < 0:
+            raise ValueError(f"harvested energy must be non-negative, got {energy_j}")
+        room = self.capacity_j - self._energy
+        stored = min(energy_j, room)
+        self._energy += stored
+        self.total_harvested_j += stored
+        self.total_wasted_j += energy_j - stored
+        return stored
+
+    def draw(self, energy_j: float) -> bool:
+        """Try to consume energy atomically.
+
+        Returns True and debits if the full amount is available;
+        otherwise returns False and leaves the store unchanged.
+        """
+        if energy_j < 0:
+            raise ValueError(f"drawn energy must be non-negative, got {energy_j}")
+        if energy_j > self._energy:
+            return False
+        self._energy -= energy_j
+        self.total_consumed_j += energy_j
+        return True

@@ -1,0 +1,154 @@
+"""Harvester power models.
+
+Each harvester reports instantaneous harvested power (watts) as a
+function of time; the capacitor integrates it.  Constants follow the
+orders of magnitude cited in the paper (sensing uW..tens of uW, RF
+harvesting tens of uW near a reader, small indoor solar ~100 uW/cm2
+bright).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+class Harvester:
+    """Base harvester: subclasses implement :meth:`power_at`."""
+
+    def power_at(self, t: float) -> float:
+        """Instantaneous harvested power in watts at time ``t`` (s)."""
+        raise NotImplementedError
+
+    def energy_between(self, t0: float, t1: float, dt: float = 0.1) -> float:
+        """Trapezoidal energy (J) harvested over ``[t0, t1]``."""
+        if t1 < t0:
+            raise ValueError(f"t1 < t0 ({t1} < {t0})")
+        if t1 == t0:
+            return 0.0
+        steps = max(2, int(math.ceil((t1 - t0) / dt)) + 1)
+        ts = np.linspace(t0, t1, steps)
+        powers = np.array([self.power_at(t) for t in ts])
+        return float(np.trapezoid(powers, ts))
+
+
+class RFHarvester(Harvester):
+    """Far-field RF harvesting (Friis with rectifier efficiency).
+
+    P_harv = eta * P_tx * G / (4 pi d / lambda)^2, floored at 0 beyond
+    the rectifier sensitivity.
+    """
+
+    def __init__(
+        self,
+        tx_power_w: float = 1.0,
+        distance_m: float = 3.0,
+        frequency_hz: float = 2.4e9,
+        gain: float = 4.0,
+        efficiency: float = 0.3,
+        sensitivity_w: float = 1e-7,
+    ) -> None:
+        if distance_m <= 0:
+            raise ValueError(f"distance must be positive, got {distance_m}")
+        self.tx_power_w = tx_power_w
+        self.distance_m = distance_m
+        self.frequency_hz = frequency_hz
+        self.gain = gain
+        self.efficiency = efficiency
+        self.sensitivity_w = sensitivity_w
+
+    def power_at(self, t: float) -> float:
+        wavelength = 299_792_458.0 / self.frequency_hz
+        path = (wavelength / (4 * math.pi * self.distance_m)) ** 2
+        received = self.tx_power_w * self.gain * path
+        if received < self.sensitivity_w:
+            return 0.0
+        return self.efficiency * received
+
+
+class SolarHarvester(Harvester):
+    """Indoor photovoltaic harvesting driven by an illuminance profile.
+
+    Args:
+        area_cm2: cell area.
+        illuminance: callable t -> lux.
+        efficiency_w_per_cm2_per_klux: conversion constant (indoor
+            amorphous silicon is on the order of 3-10 uW/cm2/klux).
+    """
+
+    def __init__(
+        self,
+        area_cm2: float = 4.0,
+        illuminance: Callable[[float], float] = lambda t: 500.0,
+        efficiency_w_per_cm2_per_klux: float = 5e-6,
+    ) -> None:
+        self.area_cm2 = area_cm2
+        self.illuminance = illuminance
+        self.efficiency = efficiency_w_per_cm2_per_klux
+
+    def power_at(self, t: float) -> float:
+        lux = max(0.0, self.illuminance(t))
+        return self.area_cm2 * (lux / 1000.0) * self.efficiency
+
+
+class ThermalHarvester(Harvester):
+    """Thermoelectric harvesting from a temperature gradient."""
+
+    def __init__(
+        self,
+        delta_t: Callable[[float], float] = lambda t: 2.0,
+        w_per_kelvin2: float = 1e-6,
+    ) -> None:
+        self.delta_t = delta_t
+        self.w_per_kelvin2 = w_per_kelvin2
+
+    def power_at(self, t: float) -> float:
+        dt = self.delta_t(t)
+        return self.w_per_kelvin2 * dt * dt
+
+
+class VibrationHarvester(Harvester):
+    """Resonant piezo harvesting: peak power near resonance, Lorentzian
+    roll-off away from it."""
+
+    def __init__(
+        self,
+        peak_power_w: float = 100e-6,
+        resonance_hz: float = 50.0,
+        bandwidth_hz: float = 5.0,
+        vibration_hz: Callable[[float], float] = lambda t: 50.0,
+    ) -> None:
+        self.peak_power_w = peak_power_w
+        self.resonance_hz = resonance_hz
+        self.bandwidth_hz = bandwidth_hz
+        self.vibration_hz = vibration_hz
+
+    def power_at(self, t: float) -> float:
+        f = self.vibration_hz(t)
+        detune = (f - self.resonance_hz) / self.bandwidth_hz
+        return self.peak_power_w / (1.0 + detune * detune)
+
+
+class PiecewiseTraceHarvester(Harvester):
+    """Harvester backed by a sampled power trace (step interpolation)."""
+
+    def __init__(self, times: Sequence[float], powers: Sequence[float]) -> None:
+        times = np.asarray(times, dtype=float)
+        powers = np.asarray(powers, dtype=float)
+        if times.ndim != 1 or times.shape != powers.shape:
+            raise ValueError("times and powers must be equal-length 1-D arrays")
+        if len(times) == 0:
+            raise ValueError("trace must contain at least one sample")
+        if np.any(np.diff(times) < 0):
+            raise ValueError("times must be non-decreasing")
+        if np.any(powers < 0):
+            raise ValueError("powers must be non-negative")
+        self.times = times
+        self.powers = powers
+
+    def power_at(self, t: float) -> float:
+        idx = int(np.searchsorted(self.times, t, side="right")) - 1
+        idx = min(max(idx, 0), len(self.powers) - 1)
+        return float(self.powers[idx])

@@ -1,0 +1,107 @@
+"""Intermittent-computing power manager.
+
+Drives a capacitor-backed zero-energy device through a harvesting
+trace: the device wakes when the capacitor passes the turn-on
+threshold, then runs tasks (sense / compute / transmit) while energy
+allows, and dies at brown-out until re-charged.  This is the substrate
+for resilience experiment E8 and the zero-energy feasibility numbers
+in E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.energy.capacitor import Capacitor
+from repro.energy.traces import HarvestingTrace
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """An atomic task the device runs each wake cycle."""
+
+    name: str
+    energy_j: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.energy_j < 0 or self.duration_s <= 0:
+            raise ValueError(
+                f"task {self.name!r} needs non-negative energy and positive duration"
+            )
+
+
+@dataclass
+class RunReport:
+    """Outcome of driving a device through a trace."""
+
+    completed: Dict[str, int] = field(default_factory=dict)
+    aborted: Dict[str, int] = field(default_factory=dict)
+    on_time_s: float = 0.0
+    off_time_s: float = 0.0
+    brown_outs: int = 0
+
+    @property
+    def availability(self) -> float:
+        total = self.on_time_s + self.off_time_s
+        return self.on_time_s / total if total else 0.0
+
+    def completions(self, name: str) -> int:
+        return self.completed.get(name, 0)
+
+
+class IntermittentPowerManager:
+    """Executes a cyclic task list on a harvested device.
+
+    Each simulation step integrates harvest into the capacitor, then —
+    if the device is on — attempts the next task in round-robin order.
+    A task whose energy cannot be drawn atomically is aborted (counted)
+    and the device turns off until the turn-on threshold is re-reached,
+    modelling a power-failure-and-checkpoint cycle.
+    """
+
+    def __init__(self, capacitor: Capacitor, tasks: Sequence[TaskSpec]) -> None:
+        if not tasks:
+            raise ValueError("need at least one task")
+        self.capacitor = capacitor
+        self.tasks = list(tasks)
+
+    def run(self, trace: HarvestingTrace) -> RunReport:
+        """Drive the device through the harvesting trace."""
+        report = RunReport()
+        on = self.capacitor.can_turn_on
+        task_idx = 0
+        times = trace.times
+        powers = trace.powers
+        for i in range(len(times) - 1):
+            dt = times[i + 1] - times[i]
+            self.capacitor.harvest(powers[i] * dt)
+            if not on:
+                if self.capacitor.can_turn_on:
+                    on = True
+                else:
+                    report.off_time_s += dt
+                    continue
+            # Device is on: attempt tasks that fit in this step.
+            budget = dt
+            while budget > 0 and on:
+                task = self.tasks[task_idx % len(self.tasks)]
+                if task.duration_s > budget:
+                    break
+                if self.capacitor.draw(task.energy_j):
+                    report.completed[task.name] = (
+                        report.completed.get(task.name, 0) + 1
+                    )
+                    task_idx += 1
+                    budget -= task.duration_s
+                else:
+                    report.aborted[task.name] = report.aborted.get(task.name, 0) + 1
+                    report.brown_outs += 1
+                    on = False
+            report.on_time_s += dt if on else (dt - budget)
+            if not on:
+                report.off_time_s += budget
+        return report

@@ -1,0 +1,91 @@
+"""Harvesting trace generation.
+
+The paper's devices run from harvested energy in the wild; since we
+have no captured field traces, these generators produce the synthetic
+equivalents used throughout the experiments (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class HarvestingTrace:
+    """A sampled harvested-power time series.
+
+    Attributes:
+        times: sample instants, seconds, strictly increasing.
+        powers: harvested power in watts at each instant.
+    """
+
+    times: np.ndarray
+    powers: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.powers = np.asarray(self.powers, dtype=float)
+        if self.times.shape != self.powers.shape or self.times.ndim != 1:
+            raise ValueError("times and powers must be equal-length 1-D arrays")
+        if np.any(np.diff(self.times) <= 0):
+            raise ValueError("times must be strictly increasing")
+        if np.any(self.powers < 0):
+            raise ValueError("powers must be non-negative")
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def mean_power_w(self) -> float:
+        return float(np.trapezoid(self.powers, self.times) / self.duration_s)
+
+    def total_energy_j(self) -> float:
+        """Trapezoidal integral of power over the trace."""
+        return float(np.trapezoid(self.powers, self.times))
+
+
+def diurnal_solar_trace(
+    days: float,
+    dt_s: float,
+    peak_power_w: float,
+    rng: np.random.Generator,
+    cloud_fraction: float = 0.2,
+) -> HarvestingTrace:
+    """Indoor-light/solar trace with a day-night cycle and cloud dips.
+
+    Power follows a clipped sinusoid peaking at midday, zero at night,
+    with multiplicative cloud noise.
+    """
+    if days <= 0 or dt_s <= 0:
+        raise ValueError("days and dt_s must be positive")
+    n = int(days * 86_400 / dt_s)
+    times = np.arange(n) * dt_s
+    phase = 2 * np.pi * (times / 86_400 - 0.25)  # peak at noon
+    base = np.clip(np.sin(phase), 0.0, None) * peak_power_w
+    clouds = 1.0 - cloud_fraction * rng.random(n)
+    return HarvestingTrace(times=times, powers=base * clouds)
+
+
+def rf_field_trace(
+    duration_s: float,
+    dt_s: float,
+    mean_power_w: float,
+    rng: np.random.Generator,
+    burst_probability: float = 0.3,
+    burst_gain: float = 5.0,
+) -> HarvestingTrace:
+    """Ambient-RF harvesting trace: a low floor with traffic bursts.
+
+    Models harvesting from Wi-Fi/TV signals whose availability depends
+    on other people's traffic — bursty, never fully off.
+    """
+    if duration_s <= 0 or dt_s <= 0:
+        raise ValueError("duration_s and dt_s must be positive")
+    n = int(duration_s / dt_s)
+    floor = mean_power_w * 0.3
+    bursts = (rng.random(n) < burst_probability).astype(float)
+    powers = floor + bursts * mean_power_w * burst_gain * rng.random(n)
+    return HarvestingTrace(times=np.arange(n) * dt_s + dt_s, powers=powers)

@@ -1,0 +1,43 @@
+"""Classical machine-learning substrate.
+
+Self-contained classifiers and evaluation metrics used by the
+wireless-sensing experiments (CSI localization, RSSI congestion and
+crowd counting) and by the benchmark harnesses to score every
+experiment with the same definitions the paper uses (accuracy,
+F-measure, confusion matrices).
+"""
+
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    f_measure,
+    macro_f_measure,
+    mean_absolute_error,
+    precision_recall,
+    within_k_accuracy,
+)
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.model_selection import KFold, train_test_split
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomForestClassifier
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "f_measure",
+    "macro_f_measure",
+    "mean_absolute_error",
+    "precision_recall",
+    "within_k_accuracy",
+    "StandardScaler",
+    "KFold",
+    "train_test_split",
+    "KNeighborsClassifier",
+    "LogisticRegressionClassifier",
+    "GaussianNaiveBayes",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+]

@@ -1,0 +1,33 @@
+"""Common classifier interface."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Classifier:
+    """Minimal fit/predict interface shared by all classifiers."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Classifier":
+        raise NotImplementedError
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on the given data."""
+        from repro.ml.metrics import accuracy
+
+        return accuracy(y, self.predict(x))
+
+    @staticmethod
+    def _check_xy(x: np.ndarray, y: np.ndarray) -> tuple:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.ndim != 2:
+            raise ValueError(f"expected 2-D feature matrix, got shape {x.shape}")
+        if len(x) != len(y):
+            raise ValueError(f"x and y length mismatch: {len(x)} vs {len(y)}")
+        if len(x) == 0:
+            raise ValueError("cannot fit on empty data")
+        return x, y

@@ -1,0 +1,63 @@
+"""Random forest built on the CART tree."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(Classifier):
+    """Bagged decision trees with sqrt(d) feature subsampling.
+
+    The default classifier for the CSI-feature experiments: robust to
+    the 624-dimensional, partially redundant feature vectors.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 30,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if n_trees < 1:
+            raise ValueError(f"n_trees must be >= 1, got {n_trees}")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.seed = seed
+        self.trees_: List[DecisionTreeClassifier] = []
+        self._num_classes = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        x, y = self._check_xy(x, y)
+        y = y.astype(int)
+        self._num_classes = int(y.max()) + 1
+        n, d = x.shape
+        max_features = max(1, int(np.sqrt(d)))
+        rng = np.random.default_rng(self.seed)
+        self.trees_ = []
+        for t in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=max_features,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(x[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("classifier has not been fitted")
+        votes = np.zeros((len(x), self._num_classes), dtype=int)
+        for tree in self.trees_:
+            preds = tree.predict(x)
+            votes[np.arange(len(x)), preds] += 1
+        return votes.argmax(axis=1)

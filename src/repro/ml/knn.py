@@ -1,0 +1,45 @@
+"""k-nearest-neighbours classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier
+
+
+class KNeighborsClassifier(Classifier):
+    """Brute-force kNN with Euclidean distance and majority vote.
+
+    Ties are broken toward the smallest label, which keeps predictions
+    deterministic.
+    """
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._x: np.ndarray = None
+        self._y: np.ndarray = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        x, y = self._check_xy(x, y)
+        self._x = x
+        self._y = y.astype(int)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("classifier has not been fitted")
+        x = np.asarray(x, dtype=float)
+        k = min(self.k, len(self._x))
+        # (n_query, n_train) squared distances without the query norm
+        # (constant per row, irrelevant for ranking).
+        d2 = (
+            (self._x**2).sum(axis=1)[None, :] - 2.0 * x @ self._x.T
+        )
+        nearest = np.argpartition(d2, kth=k - 1, axis=1)[:, :k]
+        preds = np.empty(len(x), dtype=int)
+        for i, idx in enumerate(nearest):
+            votes = np.bincount(self._y[idx])
+            preds[i] = votes.argmax()
+        return preds

@@ -1,0 +1,57 @@
+"""Multinomial logistic regression trained by gradient descent."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.nn.losses import softmax
+
+
+class LogisticRegressionClassifier(Classifier):
+    """Softmax regression with L2 regularization and full-batch
+    gradient descent.
+
+    Simple and deterministic; sufficient for the sensing experiments
+    where features are informative after scaling.
+    """
+
+    def __init__(
+        self,
+        lr: float = 0.1,
+        epochs: int = 300,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self.weights_: np.ndarray = None
+        self.bias_: np.ndarray = None
+        self.classes_: np.ndarray = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegressionClassifier":
+        x, y = self._check_xy(x, y)
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
+        n, d = x.shape
+        c = len(self.classes_)
+        rng = np.random.default_rng(self.seed)
+        self.weights_ = rng.normal(0.0, 0.01, size=(d, c))
+        self.bias_ = np.zeros(c)
+        onehot = np.zeros((n, c))
+        onehot[np.arange(n), y_idx] = 1.0
+        for __ in range(self.epochs):
+            probs = softmax(x @ self.weights_ + self.bias_)
+            grad = (probs - onehot) / n
+            self.weights_ -= self.lr * (x.T @ grad + self.l2 * self.weights_)
+            self.bias_ -= self.lr * grad.sum(axis=0)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("classifier has not been fitted")
+        return softmax(np.asarray(x, dtype=float) @ self.weights_ + self.bias_)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.classes_[self.predict_proba(x).argmax(axis=1)]

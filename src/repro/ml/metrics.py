@@ -1,0 +1,84 @@
+"""Evaluation metrics shared by every experiment."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _as_labels(y) -> np.ndarray:
+    arr = np.asarray(y)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D label array, got shape {arr.shape}")
+    return arr
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exact matches."""
+    t, p = _as_labels(y_true), _as_labels(y_pred)
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {p.shape}")
+    if t.size == 0:
+        raise ValueError("cannot compute accuracy of empty arrays")
+    return float((t == p).mean())
+
+
+def within_k_accuracy(y_true, y_pred, k: int) -> float:
+    """Fraction of predictions within +-k of the target (ordinal labels).
+
+    The crowd-counting experiment (E5) reports 'errors up to two
+    people', i.e. within-2 accuracy.
+    """
+    t = np.asarray(y_true, dtype=float)
+    p = np.asarray(y_pred, dtype=float)
+    return float((np.abs(t - p) <= k).mean())
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error for count-valued predictions."""
+    t = np.asarray(y_true, dtype=float)
+    p = np.asarray(y_pred, dtype=float)
+    return float(np.abs(t - p).mean())
+
+
+def confusion_matrix(y_true, y_pred, num_classes: Optional[int] = None) -> np.ndarray:
+    """Counts matrix ``C[i, j]`` = samples of true class i predicted j."""
+    t, p = _as_labels(y_true).astype(int), _as_labels(y_pred).astype(int)
+    if num_classes is None:
+        num_classes = int(max(t.max(), p.max())) + 1
+    mat = np.zeros((num_classes, num_classes), dtype=int)
+    np.add.at(mat, (t, p), 1)
+    return mat
+
+
+def precision_recall(y_true, y_pred, positive_class: int) -> Tuple[float, float]:
+    """Precision and recall for one class (0/0 counts as 0)."""
+    t, p = _as_labels(y_true), _as_labels(y_pred)
+    tp = int(((t == positive_class) & (p == positive_class)).sum())
+    fp = int(((t != positive_class) & (p == positive_class)).sum())
+    fn = int(((t == positive_class) & (p != positive_class)).sum())
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    return precision, recall
+
+
+def f_measure(y_true, y_pred, positive_class: int) -> float:
+    """Harmonic mean of precision and recall for one class."""
+    precision, recall = precision_recall(y_true, y_pred, positive_class)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def macro_f_measure(y_true, y_pred, num_classes: Optional[int] = None) -> float:
+    """Unweighted mean of per-class F-measures.
+
+    The train-congestion experiment (E4) reports a 3-level F-measure;
+    we follow the macro-averaged definition.
+    """
+    t = _as_labels(y_true).astype(int)
+    if num_classes is None:
+        num_classes = int(max(t.max(), np.asarray(y_pred).max())) + 1
+    scores = [f_measure(y_true, y_pred, c) for c in range(num_classes)]
+    return float(np.mean(scores))

@@ -1,0 +1,67 @@
+"""Train/test splitting and cross-validation."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float,
+    rng: np.random.Generator,
+    stratify: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into train/test; optionally stratify by label.
+
+    Returns ``(x_train, x_test, y_train, y_test)``.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    n = len(x)
+    if len(y) != n:
+        raise ValueError(f"x and y length mismatch: {n} vs {len(y)}")
+    if stratify:
+        test_idx = []
+        for label in np.unique(y):
+            members = np.flatnonzero(np.asarray(y) == label)
+            members = rng.permutation(members)
+            take = max(1, int(round(len(members) * test_fraction)))
+            test_idx.extend(members[:take])
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[test_idx] = True
+    else:
+        order = rng.permutation(n)
+        n_test = max(1, int(round(n * test_fraction)))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[order[:n_test]] = True
+    x = np.asarray(x)
+    y = np.asarray(y)
+    return x[~test_mask], x[test_mask], y[~test_mask], y[test_mask]
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits: int, rng: np.random.Generator) -> None:
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self._rng = rng
+
+    def split(self, n_samples: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_idx, test_idx)`` pairs covering all samples."""
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        order = self._rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate(
+                [folds[j] for j in range(self.n_splits) if j != i]
+            )
+            yield train_idx, test_idx

@@ -1,0 +1,57 @@
+"""Gaussian naive Bayes classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier
+
+
+class GaussianNaiveBayes(Classifier):
+    """Naive Bayes with per-class diagonal Gaussians.
+
+    Variances are floored at a fraction of the largest feature variance
+    to keep log-likelihoods finite for near-constant features.
+    """
+
+    VAR_FLOOR = 1e-9
+
+    def __init__(self) -> None:
+        self.classes_: np.ndarray = None
+        self.means_: np.ndarray = None
+        self.vars_: np.ndarray = None
+        self.log_priors_: np.ndarray = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianNaiveBayes":
+        x, y = self._check_xy(x, y)
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
+        c, d = len(self.classes_), x.shape[1]
+        self.means_ = np.zeros((c, d))
+        self.vars_ = np.zeros((c, d))
+        counts = np.zeros(c)
+        for k in range(c):
+            members = x[y_idx == k]
+            counts[k] = len(members)
+            self.means_[k] = members.mean(axis=0)
+            self.vars_[k] = members.var(axis=0)
+        floor = self.VAR_FLOOR * max(float(x.var(axis=0).max()), 1.0)
+        self.vars_ = np.maximum(self.vars_, floor)
+        self.log_priors_ = np.log(counts / counts.sum())
+        return self
+
+    def _joint_log_likelihood(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        ll = np.empty((len(x), len(self.classes_)))
+        for k in range(len(self.classes_)):
+            diff = x - self.means_[k]
+            ll[:, k] = (
+                -0.5 * np.log(2 * np.pi * self.vars_[k]).sum()
+                - 0.5 * (diff**2 / self.vars_[k]).sum(axis=1)
+                + self.log_priors_[k]
+            )
+        return ll
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.means_ is None:
+            raise RuntimeError("classifier has not been fitted")
+        return self.classes_[self._joint_log_likelihood(x).argmax(axis=1)]

@@ -1,0 +1,33 @@
+"""Feature preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance feature scaling.
+
+    Constant features (zero variance) are left unscaled rather than
+    producing NaN, which matters for CSI features that can saturate.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray = None
+        self.scale_: np.ndarray = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=float)
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler has not been fitted")
+        return (np.asarray(x, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)

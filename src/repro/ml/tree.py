@@ -1,0 +1,138 @@
+"""CART-style decision tree classifier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a class, internal nodes a split."""
+
+    prediction: int
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p**2).sum())
+
+
+class DecisionTreeClassifier(Classifier):
+    """Binary CART with Gini impurity.
+
+    Args:
+        max_depth: depth limit (None = unbounded).
+        min_samples_split: don't split nodes smaller than this.
+        max_features: features examined per split (None = all); when
+            set, the subset is drawn with the tree's RNG, which is how
+            the random forest decorrelates its trees.
+        seed: RNG seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self._root: Optional[_Node] = None
+        self._num_classes = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        x, y = self._check_xy(x, y)
+        y = y.astype(int)
+        self._num_classes = int(y.max()) + 1
+        rng = np.random.default_rng(self.seed)
+        self._root = self._grow(x, y, depth=0, rng=rng)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int, rng) -> _Node:
+        counts = np.bincount(y, minlength=self._num_classes)
+        node = _Node(prediction=int(counts.argmax()))
+        if (
+            len(y) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or counts.max() == len(y)
+        ):
+            return node
+        split = self._best_split(x, y, counts, rng)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def _best_split(self, x, y, parent_counts, rng):
+        n, d = x.shape
+        features = np.arange(d)
+        if self.max_features is not None and self.max_features < d:
+            features = rng.choice(d, size=self.max_features, replace=False)
+        parent_gini = _gini(parent_counts)
+        best_gain = 1e-12
+        best = None
+        for f in features:
+            order = np.argsort(x[:, f], kind="stable")
+            xs, ys = x[order, f], y[order]
+            left_counts = np.zeros(self._num_classes)
+            right_counts = parent_counts.astype(float).copy()
+            for i in range(n - 1):
+                left_counts[ys[i]] += 1
+                right_counts[ys[i]] -= 1
+                if xs[i] == xs[i + 1]:
+                    continue
+                n_left = i + 1
+                n_right = n - n_left
+                gain = parent_gini - (
+                    n_left * _gini(left_counts) + n_right * _gini(right_counts)
+                ) / n
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(f), float((xs[i] + xs[i + 1]) / 2.0))
+        return best
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("classifier has not been fitted")
+        x = np.asarray(x, dtype=float)
+        out = np.empty(len(x), dtype=int)
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node):
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

@@ -1,0 +1,51 @@
+"""From-scratch NumPy CNN framework.
+
+This is the substrate on which MicroDeep (:mod:`repro.core`) runs.  It
+is deliberately free of autograd frameworks: every layer exposes an
+explicit ``forward``/``backward`` pair, and the spatial layers also
+expose their *unit-level dependency structure*
+(:meth:`~repro.nn.layers.base.Layer.spatial_dependencies`), which is
+what lets MicroDeep place CNN units on sensor nodes and count the
+messages each placement induces.
+
+Data layout convention: batches are ``(N, C, H, W)`` for spatial layers
+and ``(N, F)`` for dense layers.
+"""
+
+from repro.nn.layers.base import Layer, ParamLayer
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.pool import MaxPool2D, AvgPool2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.activations import ReLU, Sigmoid, Tanh
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.batchnorm import BatchNorm
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.model import Sequential
+from repro.nn.training import Trainer, TrainingHistory
+from repro.nn.serialization import load_weights, save_weights
+
+__all__ = [
+    "Layer",
+    "ParamLayer",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Dense",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "SGD",
+    "Adam",
+    "Sequential",
+    "Trainer",
+    "TrainingHistory",
+    "save_weights",
+    "load_weights",
+]

@@ -1,0 +1,61 @@
+"""Weight initializers.
+
+Each initializer takes a shape and a :class:`numpy.random.Generator`
+and returns a float64 array; fan-in/fan-out are derived from the shape
+using the usual convention (dense: ``(in, out)``, conv: ``(out_c, in_c,
+kh, kw)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _fans(shape: tuple) -> tuple:
+    if len(shape) == 2:  # dense (in, out)
+        return shape[0], shape[1]
+    if len(shape) == 4:  # conv (out_c, in_c, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    size = int(np.prod(shape))
+    return size, size
+
+
+def he_normal(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) normal initialization, suited to ReLU networks."""
+    fan_in, __ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def glorot_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Glorot (Xavier) uniform initialization."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape)
+
+
+INITIALIZERS = {
+    "he_normal": he_normal,
+    "glorot_uniform": glorot_uniform,
+    "zeros": zeros,
+}
+
+
+def get(name: str):
+    """Look up an initializer by name.
+
+    Raises:
+        KeyError: for unknown names, listing the valid ones.
+    """
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown initializer {name!r}; valid: {sorted(INITIALIZERS)}"
+        ) from None

@@ -1,0 +1,25 @@
+"""Layer implementations for the NumPy CNN framework."""
+
+from repro.nn.layers.base import Layer, ParamLayer
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.pool import MaxPool2D, AvgPool2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.activations import ReLU, Sigmoid, Tanh
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.batchnorm import BatchNorm
+
+__all__ = [
+    "Layer",
+    "ParamLayer",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Dense",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+]

@@ -1,0 +1,82 @@
+"""Elementwise activation layers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, SpatialDeps, elementwise_dependencies
+
+
+class _Elementwise(Layer):
+    """Base for activations: shape-preserving, identity spatial deps."""
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return tuple(input_shape)
+
+    @property
+    def is_spatial(self) -> bool:
+        # An elementwise op preserves whatever grid structure exists.
+        return True
+
+    @property
+    def is_elementwise(self) -> bool:
+        return True
+
+    def spatial_dependencies(self, input_hw: Tuple[int, int]) -> SpatialDeps:
+        return elementwise_dependencies(input_hw)
+
+
+class ReLU(_Elementwise):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x > 0
+        if training:
+            self._mask = mask
+        return np.where(mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_out * self._mask
+
+
+class Sigmoid(_Elementwise):
+    """Logistic sigmoid."""
+
+    def __init__(self) -> None:
+        self._out = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_out * self._out * (1.0 - self._out)
+
+
+class Tanh(_Elementwise):
+    """Hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        self._out = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(x)
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_out * (1.0 - self._out**2)

@@ -1,0 +1,105 @@
+"""Batch normalization."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import ParamLayer, SpatialDeps, elementwise_dependencies
+
+
+class BatchNorm(ParamLayer):
+    """Batch normalization over the channel/feature axis.
+
+    Works on ``(N, F)`` (normalizing each feature) and ``(N, C, H, W)``
+    (normalizing each channel over batch and space).  Running
+    statistics accumulate with ``momentum`` during training and are
+    used at inference.
+
+    Spatially this is per-position (elementwise) at *inference*; the
+    batch statistics coupling exists only during centralized training,
+    so MicroDeep treats it as communication-free like an activation.
+    """
+
+    def __init__(self, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.eps = eps
+        self._cache = None
+        self.running_mean: np.ndarray = None
+        self.running_var: np.ndarray = None
+
+    def build(self, input_shape: tuple, rng: np.random.Generator) -> None:
+        super().build(input_shape, rng)
+        n_features = input_shape[0]
+        self.add_param("gamma", np.ones(n_features))
+        self.add_param("beta", np.zeros(n_features))
+        self.running_mean = np.zeros(n_features)
+        self.running_var = np.ones(n_features)
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return tuple(input_shape)
+
+    @property
+    def is_spatial(self) -> bool:
+        return True
+
+    @property
+    def is_elementwise(self) -> bool:
+        return True
+
+    def spatial_dependencies(self, input_hw: Tuple[int, int]) -> SpatialDeps:
+        return elementwise_dependencies(input_hw)
+
+    def _axes(self, x: np.ndarray) -> tuple:
+        if x.ndim == 2:
+            return (0,)
+        if x.ndim == 4:
+            return (0, 2, 3)
+        raise ValueError(f"BatchNorm expects 2-D or 4-D input, got {x.ndim}-D")
+
+    def _broadcast(self, stat: np.ndarray, ndim: int) -> np.ndarray:
+        if ndim == 2:
+            return stat[None, :]
+        return stat[None, :, None, None]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        axes = self._axes(x)
+        gamma = self._broadcast(self._params["gamma"], x.ndim)
+        beta = self._broadcast(self._params["beta"], x.ndim)
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        mean_b = self._broadcast(mean, x.ndim)
+        var_b = self._broadcast(var, x.ndim)
+        x_hat = (x - mean_b) / np.sqrt(var_b + self.eps)
+        if training:
+            self._cache = (x_hat, var_b, axes)
+        return gamma * x_hat + beta
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x_hat, var_b, axes = self._cache
+        gamma = self._broadcast(self._params["gamma"], grad_out.ndim)
+        m = np.prod([grad_out.shape[a] for a in axes])
+        self._grads["gamma"] += (grad_out * x_hat).sum(axis=axes)
+        self._grads["beta"] += grad_out.sum(axis=axes)
+        # Standard batch-norm backward through the batch statistics.
+        dx_hat = grad_out * gamma
+        term1 = m * dx_hat
+        term2 = dx_hat.sum(axis=axes, keepdims=True)
+        term3 = x_hat * (dx_hat * x_hat).sum(axis=axes, keepdims=True)
+        return (term1 - term2 - term3) / (m * np.sqrt(var_b + self.eps))

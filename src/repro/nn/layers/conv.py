@@ -1,0 +1,117 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.layers.base import ParamLayer, SpatialDeps
+from repro.nn.layers.im2col import col2im, conv_output_hw, im2col
+
+
+class Conv2D(ParamLayer):
+    """Standard 2-D convolution over ``(N, C, H, W)`` batches.
+
+    Args:
+        filters: number of output channels.
+        kernel_size: square kernel side or ``(kh, kw)``.
+        stride: window step.
+        padding: ``"valid"`` (no padding) or ``"same"``
+            (zero-pad so that with stride 1 the spatial size is kept).
+        weight_init: initializer name from :mod:`repro.nn.initializers`.
+    """
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size,
+        stride: int = 1,
+        padding: str = "valid",
+        weight_init: str = "he_normal",
+    ) -> None:
+        super().__init__()
+        if filters <= 0:
+            raise ValueError(f"filters must be positive, got {filters}")
+        if padding not in ("valid", "same"):
+            raise ValueError(f"padding must be 'valid' or 'same', got {padding!r}")
+        self.filters = filters
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.kh, self.kw = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight_init = weight_init
+        self._cache = None
+
+    @property
+    def pad(self) -> int:
+        if self.padding == "valid":
+            return 0
+        return (self.kh - 1) // 2
+
+    def build(self, input_shape: tuple, rng: np.random.Generator) -> None:
+        super().build(input_shape, rng)
+        in_c = input_shape[0]
+        init = initializers.get(self.weight_init)
+        self.add_param("W", init((self.filters, in_c, self.kh, self.kw), rng))
+        self.add_param("b", np.zeros(self.filters))
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        __, h, w = input_shape
+        out_h, out_w = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
+        return (self.filters, out_h, out_w)
+
+    @property
+    def is_spatial(self) -> bool:
+        return True
+
+    def spatial_dependencies(self, input_hw: Tuple[int, int]) -> SpatialDeps:
+        """Each output position reads its (possibly clipped) receptive
+        field of input positions."""
+        h, w = input_hw
+        pad = self.pad
+        out_h, out_w = conv_output_hw(h, w, self.kh, self.kw, self.stride, pad)
+        deps: SpatialDeps = {}
+        for oy in range(out_h):
+            for ox in range(out_w):
+                reads = []
+                for ky in range(self.kh):
+                    for kx in range(self.kw):
+                        iy = oy * self.stride + ky - pad
+                        ix = ox * self.stride + kx - pad
+                        if 0 <= iy < h and 0 <= ix < w:
+                            reads.append((iy, ix))
+                deps[(oy, ox)] = reads
+        return deps
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        out_h, out_w = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
+        col = im2col(x, self.kh, self.kw, self.stride, self.pad)
+        w_flat = self._params["W"].reshape(self.filters, -1).T
+        out = col @ w_flat + self._params["b"]
+        out = out.reshape(n, out_h, out_w, self.filters).transpose(0, 3, 1, 2)
+        if training:
+            self._cache = (x.shape, col)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x_shape, col = self._cache
+        n, __, out_h, out_w = grad_out.shape
+        grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, self.filters)
+        self._grads["b"] += grad_flat.sum(axis=0)
+        grad_w = col.T @ grad_flat
+        self._grads["W"] += grad_w.T.reshape(self._params["W"].shape)
+        w_flat = self._params["W"].reshape(self.filters, -1)
+        grad_col = grad_flat @ w_flat
+        return col2im(grad_col, x_shape, self.kh, self.kw, self.stride, self.pad)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv2D(filters={self.filters}, kernel=({self.kh},{self.kw}), "
+            f"stride={self.stride}, padding={self.padding!r})"
+        )

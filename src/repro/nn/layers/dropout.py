@@ -1,0 +1,46 @@
+"""Inverted dropout layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Dropout(Layer):
+    """Inverted dropout: scales kept activations by ``1/(1-rate)`` at
+    training time so inference needs no rescaling.
+
+    The RNG is captured at :meth:`build` time so runs are reproducible.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng: np.random.Generator = None
+        self._mask = None
+
+    def build(self, input_shape: tuple, rng: np.random.Generator) -> None:
+        super().build(input_shape, rng)
+        self._rng = rng
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return tuple(input_shape)
+
+    @property
+    def is_elementwise(self) -> bool:
+        return True
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = np.ones_like(x)
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_out * self._mask

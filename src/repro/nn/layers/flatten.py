@@ -1,0 +1,27 @@
+"""Flatten layer bridging spatial and dense stages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Flatten(Layer):
+    """Reshapes ``(N, C, H, W)`` (or any rank) to ``(N, F)``."""
+
+    def __init__(self) -> None:
+        self._shape = None
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_out.reshape(self._shape)

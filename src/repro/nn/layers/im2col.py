@@ -1,0 +1,57 @@
+"""im2col / col2im utilities used by the convolution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv_output_hw(
+    height: int, width: int, kh: int, kw: int, stride: int, pad: int
+) -> tuple:
+    """Spatial output size of a convolution/pool window sweep."""
+    out_h = (height + 2 * pad - kh) // stride + 1
+    out_w = (width + 2 * pad - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel ({kh}x{kw}, stride={stride}, pad={pad}) larger than "
+            f"input ({height}x{width})"
+        )
+    return out_h, out_w
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """Unfold ``(N, C, H, W)`` into ``(N*out_h*out_w, C*kh*kw)`` patches."""
+    n, c, h, w = x.shape
+    out_h, out_w = conv_output_hw(h, w, kh, kw, stride, pad)
+    img = np.pad(x, [(0, 0), (0, 0), (pad, pad), (pad, pad)], mode="constant")
+    col = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for y in range(kh):
+        y_max = y + stride * out_h
+        for xk in range(kw):
+            x_max = xk + stride * out_w
+            col[:, :, y, xk, :, :] = img[:, :, y:y_max:stride, xk:x_max:stride]
+    return col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+
+
+def col2im(
+    col: np.ndarray,
+    input_shape: tuple,
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold patch gradients back to an ``(N, C, H, W)`` image (sums
+    overlapping contributions)."""
+    n, c, h, w = input_shape
+    out_h, out_w = conv_output_hw(h, w, kh, kw, stride, pad)
+    col6 = col.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    img = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=col.dtype)
+    for y in range(kh):
+        y_max = y + stride * out_h
+        for xk in range(kw):
+            x_max = xk + stride * out_w
+            img[:, :, y:y_max:stride, xk:x_max:stride] += col6[:, :, y, xk, :, :]
+    if pad == 0:
+        return img
+    return img[:, :, pad : pad + h, pad : pad + w]

@@ -1,0 +1,64 @@
+"""Loss functions with explicit forward/backward."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class CrossEntropyLoss:
+    """Softmax + cross-entropy over integer class labels.
+
+    ``forward`` returns mean loss over the batch; ``backward`` returns
+    dLoss/dLogits (already divided by batch size).
+    """
+
+    def __init__(self) -> None:
+        self._probs = None
+        self._labels = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"expected (N, classes) logits, got {logits.shape}")
+        labels = np.asarray(labels, dtype=int)
+        probs = softmax(logits)
+        self._probs = probs
+        self._labels = labels
+        n = logits.shape[0]
+        picked = probs[np.arange(n), labels]
+        return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None:
+            raise RuntimeError("backward called before forward")
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._labels] -= 1.0
+        return grad / n
+
+    def predict(self, logits: np.ndarray) -> np.ndarray:
+        """Class predictions from logits."""
+        return logits.argmax(axis=-1)
+
+
+class MSELoss:
+    """Mean squared error (averaged over all elements)."""
+
+    def __init__(self) -> None:
+        self._diff = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        diff = pred - target
+        self._diff = diff
+        return float((diff**2).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size

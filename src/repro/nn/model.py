@@ -1,0 +1,125 @@
+"""Sequential model container."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Sequential:
+    """A linear stack of layers.
+
+    Layers are late-built on :meth:`build` (or the first forward with a
+    known input shape), which fixes parameter shapes and seeds.
+    """
+
+    def __init__(self, layers: Optional[Iterable[Layer]] = None) -> None:
+        self.layers: List[Layer] = list(layers) if layers else []
+        self._built = False
+        self._input_shape: Optional[tuple] = None
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer; returns self for chaining."""
+        if self._built:
+            raise RuntimeError("cannot add layers after build()")
+        self.layers.append(layer)
+        return self
+
+    def build(self, input_shape: tuple, rng: np.random.Generator) -> None:
+        """Initialize every layer for per-sample ``input_shape``."""
+        shape = tuple(input_shape)
+        self._input_shape = shape
+        for layer in self.layers:
+            layer.build(shape, rng)
+            shape = layer.output_shape(shape)
+        self._built = True
+
+    @property
+    def built(self) -> bool:
+        return self._built
+
+    @property
+    def input_shape(self) -> Optional[tuple]:
+        return self._input_shape
+
+    def layer_shapes(self) -> List[Tuple[tuple, tuple]]:
+        """Per-layer ``(input_shape, output_shape)`` pairs."""
+        if not self._built:
+            raise RuntimeError("model is not built")
+        shapes = []
+        shape = self._input_shape
+        for layer in self.layers:
+            out = layer.output_shape(shape)
+            shapes.append((shape, out))
+            shape = out
+        return shapes
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the batch through every layer."""
+        if not self._built:
+            raise RuntimeError("model is not built; call build(input_shape, rng)")
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate dLoss/dOutput; returns dLoss/dInput."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax of the final layer output)."""
+        return self.forward(x, training=False).argmax(axis=-1)
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    def param_slots(self):
+        """Optimizer slots: ``(slot_id, params, grads)`` per layer."""
+        slots = []
+        for i, layer in enumerate(self.layers):
+            params = layer.params()
+            if params:
+                slots.append((f"layer{i}", params, layer.grads()))
+        return slots
+
+    def num_params(self) -> int:
+        """Total trainable scalar count."""
+        return sum(
+            int(np.prod(p.shape))
+            for __, params, __g in self.param_slots()
+            for p in params.values()
+        )
+
+    def get_weights(self) -> List[np.ndarray]:
+        """Flat list of parameter arrays (copies)."""
+        return [
+            p.copy()
+            for __, params, __g in self.param_slots()
+            for __n, p in sorted(params.items())
+        ]
+
+    def set_weights(self, weights: List[np.ndarray]) -> None:
+        """Load weights produced by :meth:`get_weights`."""
+        flat = [
+            p
+            for __, params, __g in self.param_slots()
+            for __n, p in sorted(params.items())
+        ]
+        if len(flat) != len(weights):
+            raise ValueError(
+                f"weight count mismatch: model has {len(flat)}, got {len(weights)}"
+            )
+        for dst, src in zip(flat, weights):
+            if dst.shape != src.shape:
+                raise ValueError(f"shape mismatch: {dst.shape} vs {src.shape}")
+            dst[...] = src
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(l) for l in self.layers)
+        return f"Sequential([{inner}])"

@@ -1,0 +1,86 @@
+"""Gradient-descent optimizers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimizer: steps over (params, grads) dict pairs keyed by
+    a stable slot id so per-parameter state survives across steps."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def step(self, slots: List[Tuple[str, Dict[str, np.ndarray], Dict[str, np.ndarray]]]) -> None:
+        """Apply one update.
+
+        Args:
+            slots: list of ``(slot_id, params, grads)`` where params and
+                grads are parallel name->array dicts.
+        """
+        for slot_id, params, grads in slots:
+            for name, p in params.items():
+                self._update(f"{slot_id}.{name}", p, grads[name])
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        if self.momentum == 0.0:
+            param -= self.lr * grad
+            return
+        v = self._velocity.get(key)
+        if v is None:
+            v = np.zeros_like(param)
+            self._velocity[key] = v
+        v *= self.momentum
+        v -= self.lr * grad
+        param += v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._t: Dict[str, int] = {}
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        m = self._m.setdefault(key, np.zeros_like(param))
+        v = self._v.setdefault(key, np.zeros_like(param))
+        t = self._t.get(key, 0) + 1
+        self._t[key] = t
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad**2
+        m_hat = m / (1 - self.beta1**t)
+        v_hat = v / (1 - self.beta2**t)
+        param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

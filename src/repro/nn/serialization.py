@@ -1,0 +1,71 @@
+"""Model weight serialization.
+
+Saves/loads a built :class:`~repro.nn.model.Sequential`'s weights to a
+single ``.npz`` file, with an architecture fingerprint so weights are
+never silently loaded into a mismatched model — the failure mode that
+matters when a trained MicroDeep model is redeployed onto a different
+sensor network.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.nn.model import Sequential
+
+
+def _fingerprint(model: Sequential) -> str:
+    """Architecture signature: layer class names + parameter shapes."""
+    parts = []
+    for i, layer in enumerate(model.layers):
+        shapes = {
+            name: list(p.shape) for name, p in sorted(layer.params().items())
+        }
+        parts.append([type(layer).__name__, shapes])
+    return json.dumps([list(model.input_shape), parts])
+
+
+def save_weights(model: Sequential, path: Union[str, Path]) -> None:
+    """Write the model's weights and fingerprint to ``path`` (.npz).
+
+    Raises:
+        RuntimeError: if the model is unbuilt.
+    """
+    if not model.built:
+        raise RuntimeError("cannot save an unbuilt model")
+    arrays = {
+        f"w{i}": w for i, w in enumerate(model.get_weights())
+    }
+    arrays["__fingerprint__"] = np.frombuffer(
+        _fingerprint(model).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(Path(path), **arrays)
+
+
+def load_weights(model: Sequential, path: Union[str, Path]) -> Sequential:
+    """Load weights saved by :func:`save_weights` into ``model``.
+
+    Raises:
+        RuntimeError: if the model is unbuilt.
+        ValueError: if the stored fingerprint does not match the
+            model's architecture.
+    """
+    if not model.built:
+        raise RuntimeError("build the model before loading weights")
+    with np.load(Path(path)) as data:
+        stored = bytes(data["__fingerprint__"]).decode("utf-8")
+        expected = _fingerprint(model)
+        if stored != expected:
+            raise ValueError(
+                "architecture mismatch: the file was saved from a "
+                "different model\n"
+                f"  file:  {stored}\n  model: {expected}"
+            )
+        n = len([k for k in data.files if k.startswith("w")])
+        weights = [data[f"w{i}"] for i in range(n)]
+    model.set_weights(weights)
+    return model

@@ -1,0 +1,129 @@
+"""Mini-batch training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Optimizer
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training curves."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+    @property
+    def best_val_accuracy(self) -> float:
+        return max(self.val_accuracy) if self.val_accuracy else float("nan")
+
+
+class Trainer:
+    """Trains a :class:`Sequential` classifier with mini-batch SGD.
+
+    Args:
+        model: a built (or to-be-built) Sequential model.
+        optimizer: parameter-update rule.
+        loss: loss object; defaults to softmax cross-entropy.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        optimizer: Optimizer,
+        loss: Optional[CrossEntropyLoss] = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss = loss if loss is not None else CrossEntropyLoss()
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int,
+        batch_size: int,
+        rng: np.random.Generator,
+        x_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+        patience: Optional[int] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train and return the per-epoch history.
+
+        With ``patience`` set and validation data supplied, training
+        stops after that many epochs without a validation-accuracy
+        improvement and the best weights are restored.
+        """
+        if not self.model.built:
+            self.model.build(x.shape[1:], rng)
+        history = TrainingHistory()
+        n = x.shape[0]
+        best_acc = -np.inf
+        best_weights = None
+        stale = 0
+        for epoch in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            correct = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                xb, yb = x[idx], y[idx]
+                self.model.zero_grads()
+                logits = self.model.forward(xb, training=True)
+                batch_loss = self.loss.forward(logits, yb)
+                self.model.backward(self.loss.backward())
+                self.optimizer.step(self.model.param_slots())
+                epoch_loss += batch_loss * len(idx)
+                correct += int((logits.argmax(axis=-1) == yb).sum())
+            history.train_loss.append(epoch_loss / n)
+            history.train_accuracy.append(correct / n)
+            if x_val is not None and y_val is not None:
+                val_loss, val_acc = self.evaluate(x_val, y_val)
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(val_acc)
+                if val_acc > best_acc:
+                    best_acc = val_acc
+                    best_weights = self.model.get_weights()
+                    stale = 0
+                else:
+                    stale += 1
+                if patience is not None and stale >= patience:
+                    break
+            if verbose:  # pragma: no cover - console output
+                msg = (
+                    f"epoch {epoch + 1}/{epochs} "
+                    f"loss={history.train_loss[-1]:.4f} "
+                    f"acc={history.train_accuracy[-1]:.4f}"
+                )
+                if history.val_accuracy:
+                    msg += f" val_acc={history.val_accuracy[-1]:.4f}"
+                print(msg)
+        if best_weights is not None:
+            self.model.set_weights(best_weights)
+        return history
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> tuple:
+        """Return ``(mean_loss, accuracy)`` on the given data."""
+        n = x.shape[0]
+        total_loss = 0.0
+        correct = 0
+        for start in range(0, n, batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            logits = self.model.forward(xb, training=False)
+            total_loss += self.loss.forward(logits, yb) * len(xb)
+            correct += int((logits.argmax(axis=-1) == yb).sum())
+        return total_loss / n, correct / n

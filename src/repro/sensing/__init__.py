@@ -1,0 +1,53 @@
+"""Wireless-sensing substrates: CSI and RSSI simulators.
+
+These replace the paper's physical testbeds (see DESIGN.md §5):
+
+- :mod:`repro.sensing.csi` -- a MIMO-OFDM channel with human-body
+  scattering, IEEE 802.11ac compressed-beamforming (Givens-angle)
+  feedback, and the 624-dimensional feature extraction of the
+  CSI-learning system [8].
+- :mod:`repro.sensing.rssi` -- Bluetooth RSSI among phones in train
+  cars [65] and synchronized inter-node / surrounding RSSI in rooms
+  [66], both with crowd-dependent attenuation.
+"""
+
+from repro.sensing.csi.channel import AntennaPattern, Behavior, CsiChannelModel
+from repro.sensing.csi.feedback import compress_vmatrix, quantize_angles
+from repro.sensing.csi.features import FEATURE_DIMENSION, csi_feature_vector
+from repro.sensing.csi.scenario import (
+    CsiLocalizationScenario,
+    ScenarioPattern,
+    default_patterns,
+)
+from repro.sensing.csi.gesture import CsiGestureScenario, Gesture, gesture_trajectory
+from repro.sensing.csi.pem import (
+    CrowdCsiScenario,
+    GreyVerhulstEstimator,
+    percentage_nonzero_elements,
+)
+from repro.sensing.rssi.train import TrainScenario, TrainObservation, CongestionLevel
+from repro.sensing.rssi.room import RoomOccupancyScenario, RoomObservation
+
+__all__ = [
+    "CsiChannelModel",
+    "Behavior",
+    "AntennaPattern",
+    "compress_vmatrix",
+    "quantize_angles",
+    "csi_feature_vector",
+    "FEATURE_DIMENSION",
+    "CsiLocalizationScenario",
+    "ScenarioPattern",
+    "default_patterns",
+    "CsiGestureScenario",
+    "Gesture",
+    "gesture_trajectory",
+    "CrowdCsiScenario",
+    "GreyVerhulstEstimator",
+    "percentage_nonzero_elements",
+    "TrainScenario",
+    "TrainObservation",
+    "CongestionLevel",
+    "RoomOccupancyScenario",
+    "RoomObservation",
+]

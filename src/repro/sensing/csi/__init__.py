@@ -1,0 +1,23 @@
+"""CSI sensing: channel model, 802.11ac feedback, features, scenario."""
+
+from repro.sensing.csi.channel import AntennaPattern, Behavior, CsiChannelModel
+from repro.sensing.csi.feedback import compress_vmatrix, quantize_angles
+from repro.sensing.csi.features import FEATURE_DIMENSION, csi_feature_vector
+from repro.sensing.csi.scenario import (
+    CsiLocalizationScenario,
+    ScenarioPattern,
+    default_patterns,
+)
+
+__all__ = [
+    "CsiChannelModel",
+    "Behavior",
+    "AntennaPattern",
+    "compress_vmatrix",
+    "quantize_angles",
+    "csi_feature_vector",
+    "FEATURE_DIMENSION",
+    "CsiLocalizationScenario",
+    "ScenarioPattern",
+    "default_patterns",
+]

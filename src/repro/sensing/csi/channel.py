@@ -1,0 +1,194 @@
+"""MIMO-OFDM channel with human-body scattering.
+
+The device-free localization system of paper ref. [8] infers a user's
+position from the IEEE 802.11ac beamforming feedback between an AP and
+a client.  This model produces per-subcarrier channel matrices with:
+
+- a static line-of-sight + a few fixed multipath components (the
+  room), and
+- one human scatterer whose reflected path's delay/phase/attenuation
+  depends on the person's position relative to the AP-client pair.
+
+Walking adds per-frame random motion of the scatterer (the paper finds
+walking users *easier* to classify because the motion statistics are
+position-dependent); antenna-orientation divergence makes the spatial
+signatures richer.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+class Behavior(enum.Enum):
+    """User behavior during the capture (paper's six patterns vary it)."""
+
+    STANDING = "standing"
+    WALKING = "walking"
+
+
+class AntennaPattern(enum.Enum):
+    """AP antenna orientation (paper: divergence helps accuracy)."""
+
+    ALIGNED = "aligned"        # all elements same orientation
+    DIVERGENT = "divergent"    # orientations spread apart
+
+
+@dataclass(frozen=True)
+class _Path:
+    """One propagation path."""
+
+    length_m: float
+    gain: float
+    angle_rad: float = 0.6
+
+
+class CsiChannelModel:
+    """Generates per-subcarrier MIMO channel matrices.
+
+    Args:
+        ap_position / client_position: metres, 2-D.
+        n_tx: AP antennas (beamformee dimension of the feedback).
+        n_rx: client antennas / streams.
+        n_subcarriers: OFDM data subcarriers in the feedback.
+        frequency_hz: carrier frequency.
+        bandwidth_hz: channel bandwidth (sets subcarrier spacing).
+        static_paths: additional room reflections as (length, gain).
+    """
+
+    def __init__(
+        self,
+        ap_position: Tuple[float, float] = (0.0, 0.0),
+        client_position: Tuple[float, float] = (6.0, 0.0),
+        n_tx: int = 4,
+        n_rx: int = 3,
+        n_subcarriers: int = 52,
+        frequency_hz: float = 5.18e9,
+        bandwidth_hz: float = 40e6,
+        static_paths: Sequence[Tuple[float, float]] = ((9.0, 0.35), (13.0, 0.2)),
+    ) -> None:
+        if n_tx < n_rx:
+            raise ValueError("n_tx must be >= n_rx for the feedback V matrix")
+        self.ap = np.asarray(ap_position, dtype=float)
+        self.client = np.asarray(client_position, dtype=float)
+        self.n_tx = n_tx
+        self.n_rx = n_rx
+        self.n_subcarriers = n_subcarriers
+        self.frequency_hz = frequency_hz
+        self.bandwidth_hz = bandwidth_hz
+        self.static_paths = [_Path(l, g) for l, g in static_paths]
+
+    def _subcarrier_frequencies(self) -> np.ndarray:
+        half = self.bandwidth_hz / 2.0
+        offsets = np.linspace(-half, half, self.n_subcarriers)
+        return self.frequency_hz + offsets
+
+    def _antenna_phase_offsets(
+        self, pattern: AntennaPattern, angle_rad: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-element phase progression for a path arriving at
+        ``angle_rad``; divergence perturbs element orientations."""
+        lam = SPEED_OF_LIGHT / self.frequency_hz
+        spacing = lam / 2.0
+        k = 2 * math.pi / lam
+        tx_idx = np.arange(self.n_tx)
+        rx_idx = np.arange(self.n_rx)
+        tx_phase = k * spacing * tx_idx * math.sin(angle_rad)
+        rx_phase = k * spacing * rx_idx * math.sin(angle_rad)
+        if pattern is AntennaPattern.DIVERGENT:
+            # Each element points differently: add a deterministic
+            # per-element gain/phase skew that enriches the signature.
+            tx_phase = tx_phase + 0.7 * tx_idx**1.5
+            rx_phase = rx_phase + 0.4 * rx_idx**1.5
+        return tx_phase, rx_phase
+
+    def _path_matrix(
+        self,
+        length_m: float,
+        gain: float,
+        angle_rad: float,
+        freqs: np.ndarray,
+        pattern: AntennaPattern,
+    ) -> np.ndarray:
+        """(n_sub, n_tx, n_rx) contribution of one path."""
+        delay = length_m / SPEED_OF_LIGHT
+        phase_f = np.exp(-2j * math.pi * freqs * delay)  # (n_sub,)
+        tx_phase, rx_phase = self._antenna_phase_offsets(pattern, angle_rad)
+        steering = np.exp(1j * tx_phase)[:, None] * np.exp(1j * rx_phase)[None, :]
+        return gain * phase_f[:, None, None] * steering[None, :, :]
+
+    def _human_path(self, person: np.ndarray) -> Tuple[float, float, float]:
+        """(path length, gain, arrival angle) of the AP->person->client
+        reflection."""
+        d_ap = float(np.linalg.norm(person - self.ap))
+        d_cl = float(np.linalg.norm(person - self.client))
+        length = d_ap + d_cl
+        # Radar-like bistatic attenuation, with a body reflectivity.
+        gain = 2.0 / max(d_ap * d_cl, 0.25)
+        angle = math.atan2(person[1] - self.ap[1], person[0] - self.ap[0])
+        return length, gain, angle
+
+    def random_clutter(
+        self, rng: np.random.Generator, n_paths: int = 3
+    ) -> list:
+        """Random static environment clutter (furniture, doors, people
+        elsewhere) drawn once per capture session.
+
+        Clutter is what makes single static snapshots ambiguous in real
+        rooms: a standing person's reflection is confounded with it,
+        while a walking person's *temporal variation* is not.
+        """
+        return [
+            _Path(
+                length_m=float(rng.uniform(7.0, 20.0)),
+                gain=float(rng.uniform(0.05, 0.45)),
+                angle_rad=float(rng.uniform(-np.pi / 2, np.pi / 2)),
+            )
+            for __ in range(n_paths)
+        ]
+
+    def generate(
+        self,
+        person_position: Tuple[float, float],
+        behavior: Behavior,
+        pattern: AntennaPattern,
+        rng: np.random.Generator,
+        noise_std: float = 0.02,
+        clutter: list = None,
+    ) -> np.ndarray:
+        """One CSI capture: complex array ``(n_sub, n_tx, n_rx)``.
+
+        Walking jitters the scatterer position by a position-dependent
+        gait ellipse; standing only adds breathing-scale jitter.
+        ``clutter`` adds extra static paths (see :meth:`random_clutter`).
+        """
+        person = np.asarray(person_position, dtype=float)
+        if behavior is Behavior.WALKING:
+            person = person + rng.normal(0.0, 0.35, size=2)
+        else:
+            # Breathing/sway only: millimetres, i.e. a small fraction
+            # of the ~6 cm wavelength so the phase stays coherent.
+            person = person + rng.normal(0.0, 0.002, size=2)
+        freqs = self._subcarrier_frequencies()
+        los_len = float(np.linalg.norm(self.client - self.ap))
+        los_angle = math.atan2(
+            self.client[1] - self.ap[1], self.client[0] - self.ap[0]
+        )
+        h = self._path_matrix(los_len, 1.0, los_angle, freqs, pattern)
+        for p in self.static_paths:
+            h = h + self._path_matrix(p.length_m, p.gain, p.angle_rad, freqs, pattern)
+        for p in clutter or []:
+            h = h + self._path_matrix(p.length_m, p.gain, p.angle_rad, freqs, pattern)
+        length, gain, angle = self._human_path(person)
+        h = h + self._path_matrix(length, gain, angle, freqs, pattern)
+        noise = noise_std * (
+            rng.normal(size=h.shape) + 1j * rng.normal(size=h.shape)
+        )
+        return h + noise

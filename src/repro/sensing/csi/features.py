@@ -1,0 +1,49 @@
+"""Feature extraction from a CSI feedback capture.
+
+The paper's CSI-learning system extracts **624 features** per
+feedback frame.  With the (4, 3) V matrices of our channel model each
+subcarrier contributes 6 phi + 6 psi angles; over 52 subcarriers that
+is exactly 52 x 12 = 624.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sensing.csi.feedback import compress_vmatrix, quantize_angles, steering_v
+
+#: The paper's feature dimensionality.
+FEATURE_DIMENSION = 624
+
+
+def csi_feature_vector(
+    h: np.ndarray,
+    n_streams: int = 3,
+    quantize: bool = True,
+    phi_bits: int = 6,
+    psi_bits: int = 4,
+) -> np.ndarray:
+    """Compressed-angle feature vector for one capture.
+
+    Args:
+        h: complex CSI ``(n_subcarriers, n_tx, n_rx)``.
+        n_streams: columns of V fed back per subcarrier.
+        quantize: apply the 802.11ac codebook grid (set False for
+            ablations on quantization loss).
+
+    Returns:
+        1-D float array of ``n_subcarriers * (n_phi + n_psi)`` angles
+        (624 for the default 52 x (4, 3) configuration).
+    """
+    if h.ndim != 3:
+        raise ValueError(f"expected (n_sub, n_tx, n_rx) CSI, got shape {h.shape}")
+    features = []
+    for sub in range(h.shape[0]):
+        # The beamformee sees the client->AP direction: transpose so
+        # rows are the beamformer's antennas.
+        v = steering_v(h[sub].T, n_streams)
+        phis, psis = compress_vmatrix(v)
+        if quantize:
+            phis, psis = quantize_angles(phis, psis, phi_bits, psi_bits)
+        features.append(np.concatenate([phis, psis]))
+    return np.concatenate(features)

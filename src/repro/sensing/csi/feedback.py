@@ -1,0 +1,97 @@
+"""IEEE 802.11ac compressed-beamforming feedback.
+
+The beamformee computes the right singular matrix V of each
+subcarrier's channel and returns it compressed as Givens-rotation
+angles (phi, psi), quantized to a few bits.  This is the exact
+information the CSI-learning system of paper ref. [8] taps: its
+"compressed angles information" inside the feedback frame.
+
+For an ``(n_tx, n_c)`` V matrix the angle counts are::
+
+    n_phi = n_psi = sum_{i=0}^{n_c-1} (n_tx - 1 - i)
+
+so a (4, 3) matrix yields 6 + 6 = 12 angles; with 52 subcarriers the
+frame carries 624 angles — the paper's 624 features.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def num_angles(n_tx: int, n_c: int) -> Tuple[int, int]:
+    """(n_phi, n_psi) for an (n_tx, n_c) V matrix."""
+    if n_c > n_tx:
+        raise ValueError(f"n_c ({n_c}) cannot exceed n_tx ({n_tx})")
+    count = sum(n_tx - 1 - i for i in range(min(n_c, n_tx - 1)))
+    return count, count
+
+
+def steering_v(h: np.ndarray, n_c: int) -> np.ndarray:
+    """First ``n_c`` right singular vectors of channel ``h``
+    (``(n_tx, n_rx)``), as the beamformee computes them."""
+    if h.ndim != 2:
+        raise ValueError(f"expected a 2-D channel matrix, got shape {h.shape}")
+    __, __, vh = np.linalg.svd(h, full_matrices=True)
+    v = vh.conj().T  # (n_tx, n_tx)
+    return v[:, :n_c]
+
+
+def compress_vmatrix(v: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Decompose V into Givens angles per the 802.11 procedure.
+
+    Returns ``(phis, psis)``: phi in [0, 2pi), psi in [0, pi/2].
+    The decomposition first rotates each column so the last row is
+    real, then alternates column-phase removal (phi) and Givens
+    rotations (psi) that zero the sub-diagonal.
+    """
+    v = np.array(v, dtype=complex, copy=True)
+    n_r, n_c = v.shape
+    if n_c > n_r:
+        raise ValueError(f"V must be tall, got shape {v.shape}")
+    # D-tilde: make the last row non-negative real.
+    v = v * np.exp(-1j * np.angle(v[n_r - 1, :]))[None, :]
+    phis = []
+    psis = []
+    for i in range(min(n_c, n_r - 1)):
+        # Phase of column i, rows i..n_r-2 (the last row is already real).
+        col_phases = np.angle(v[i : n_r - 1, i])
+        phis.extend((col_phases % (2 * np.pi)).tolist())
+        d = np.ones(n_r, dtype=complex)
+        d[i : n_r - 1] = np.exp(1j * col_phases)
+        v = np.conj(d)[:, None] * v
+        for l in range(i + 1, n_r):
+            psi = float(np.arctan2(v[l, i].real, v[i, i].real))
+            psi = abs(psi)  # numerically tiny negatives
+            psis.append(psi)
+            g = np.eye(n_r)
+            c, s = np.cos(psi), np.sin(psi)
+            g[i, i] = c
+            g[i, l] = s
+            g[l, i] = -s
+            g[l, l] = c
+            v = g @ v
+    return np.asarray(phis), np.asarray(psis)
+
+
+def quantize_angles(
+    phis: np.ndarray, psis: np.ndarray, phi_bits: int = 6, psi_bits: int = 4
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize angles to the 802.11ac codebook grid.
+
+    phi_k = pi/2^(b-1) * (k + 1/2) over [0, 2pi);
+    psi_k = pi/2^(b+1) * (k + 1/2) over [0, pi/2].
+    """
+    if phi_bits < 1 or psi_bits < 1:
+        raise ValueError("bit widths must be >= 1")
+    phi_step = np.pi / 2 ** (phi_bits - 1)
+    psi_step = np.pi / 2 ** (psi_bits + 1)
+    phi_idx = np.clip(
+        np.round(np.asarray(phis) / phi_step - 0.5), 0, 2**phi_bits - 1
+    )
+    psi_idx = np.clip(
+        np.round(np.asarray(psis) / psi_step - 0.5), 0, 2**psi_bits - 1
+    )
+    return phi_step * (phi_idx + 0.5), psi_step * (psi_idx + 0.5)

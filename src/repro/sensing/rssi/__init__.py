@@ -1,0 +1,12 @@
+"""RSSI sensing: train-car congestion and room occupancy simulators."""
+
+from repro.sensing.rssi.train import CongestionLevel, TrainObservation, TrainScenario
+from repro.sensing.rssi.room import RoomObservation, RoomOccupancyScenario
+
+__all__ = [
+    "TrainScenario",
+    "TrainObservation",
+    "CongestionLevel",
+    "RoomOccupancyScenario",
+    "RoomObservation",
+]

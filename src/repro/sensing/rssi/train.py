@@ -1,0 +1,212 @@
+"""Bluetooth-RSSI train scenario (paper ref. [65], experiment E4).
+
+Simulates a train of several cars: each car holds a number of
+passengers determined by its congestion level; a subset of passengers
+carry participating smartphones; fixed reference nodes with known car
+positions are installed per car.  Every phone measures Bluetooth RSSI
+to the reference nodes and to other phones.
+
+Physics captured (these drive the estimation algorithm of
+:mod:`repro.contexts.congestion`):
+
+- log-distance attenuation along the train axis;
+- a large per-door penalty between cars ("doors between train cars
+  significantly attenuate the signal");
+- body-shadowing that grows with the number of people in the cars the
+  signal crosses (this carries the congestion information);
+- per-sample log-normal fading.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+class CongestionLevel(enum.IntEnum):
+    """Three-level congestion as in the paper."""
+
+    LOW = 0
+    MEDIUM = 1
+    HIGH = 2
+
+
+#: Passenger head counts sampled per level (per car).
+LEVEL_OCCUPANCY = {
+    CongestionLevel.LOW: (2, 12),
+    CongestionLevel.MEDIUM: (13, 35),
+    CongestionLevel.HIGH: (36, 70),
+}
+
+
+@dataclass
+class TrainObservation:
+    """One synchronized measurement snapshot.
+
+    Attributes:
+        phone_car: ground-truth car index of each phone.
+        ref_rssi: (phone, reference-node) -> RSSI dBm.
+        phone_rssi: (phone i, phone j) -> RSSI dBm (i < j measured both
+            ways; symmetric up to fading).
+        car_levels: ground-truth congestion level per car.
+        car_occupancy: ground-truth head count per car.
+    """
+
+    phone_car: Dict[int, int]
+    ref_rssi: Dict[Tuple[int, int], float]
+    phone_rssi: Dict[Tuple[int, int], float]
+    car_levels: List[CongestionLevel]
+    car_occupancy: List[int]
+
+    @property
+    def n_phones(self) -> int:
+        return len(self.phone_car)
+
+
+class TrainScenario:
+    """Generates :class:`TrainObservation` snapshots.
+
+    Args:
+        n_cars: cars in the train.
+        car_length_m: length of one car.
+        refs_per_car: fixed reference nodes per car (positions known).
+        tx_power_dbm: Bluetooth TX power.
+        door_penalty_db: attenuation per inter-car door crossed.
+        body_attenuation_db: attenuation per person per 10 occupants
+            in crossed cars.
+        shadowing_sigma_db: log-normal fading sigma.
+        phone_bias_sigma_db: per-phone systematic RSSI offset (device
+            heterogeneity: antenna gain, pocket vs. hand, case).  This
+            is the dominant error source of real smartphone RSSI
+            positioning — it shifts *all* of a phone's measurements
+            coherently, so averaging over reference nodes cannot
+            remove it.
+    """
+
+    def __init__(
+        self,
+        n_cars: int = 6,
+        car_length_m: float = 20.0,
+        refs_per_car: int = 1,
+        tx_power_dbm: float = 0.0,
+        path_loss_exponent: float = 2.2,
+        door_penalty_db: float = 10.0,
+        body_attenuation_db: float = 1.5,
+        shadowing_sigma_db: float = 15.0,
+        phone_bias_sigma_db: float = 12.0,
+    ) -> None:
+        if n_cars < 2:
+            raise ValueError(f"need at least 2 cars, got {n_cars}")
+        if refs_per_car < 1:
+            raise ValueError("need at least one reference node per car")
+        self.n_cars = n_cars
+        self.car_length_m = car_length_m
+        self.refs_per_car = refs_per_car
+        self.tx_power_dbm = tx_power_dbm
+        self.path_loss_exponent = path_loss_exponent
+        self.door_penalty_db = door_penalty_db
+        self.body_attenuation_db = body_attenuation_db
+        self.shadowing_sigma_db = shadowing_sigma_db
+        self.phone_bias_sigma_db = phone_bias_sigma_db
+
+    # -- geometry helpers --------------------------------------------------
+    def reference_positions(self) -> Dict[int, Tuple[int, float]]:
+        """ref_id -> (car, x position along the train)."""
+        refs = {}
+        rid = 0
+        for car in range(self.n_cars):
+            for k in range(self.refs_per_car):
+                frac = (k + 1) / (self.refs_per_car + 1)
+                refs[rid] = (car, (car + frac) * self.car_length_m)
+                rid += 1
+        return refs
+
+    def car_of_x(self, x: float) -> int:
+        return min(int(x / self.car_length_m), self.n_cars - 1)
+
+    # -- propagation -------------------------------------------------------
+    def _rssi(
+        self,
+        x1: float,
+        x2: float,
+        occupancy: List[int],
+        rng: np.random.Generator,
+    ) -> float:
+        d = max(abs(x1 - x2), 0.5)
+        loss = 40.0 + 10.0 * self.path_loss_exponent * math.log10(d)
+        car1, car2 = sorted((self.car_of_x(x1), self.car_of_x(x2)))
+        doors = car2 - car1
+        loss += doors * self.door_penalty_db
+        # Body shadowing from the people in every car the link crosses.
+        people = sum(occupancy[c] for c in range(car1, car2 + 1))
+        loss += self.body_attenuation_db * people / 10.0
+        fade = rng.normal(0.0, self.shadowing_sigma_db)
+        return self.tx_power_dbm - loss + fade
+
+    # -- snapshot generation -------------------------------------------------
+    def generate(
+        self,
+        car_levels: List[CongestionLevel],
+        participation: float,
+        rng: np.random.Generator,
+    ) -> TrainObservation:
+        """One snapshot for given per-car congestion levels.
+
+        Args:
+            car_levels: length ``n_cars``.
+            participation: fraction of passengers carrying the app.
+        """
+        if len(car_levels) != self.n_cars:
+            raise ValueError(
+                f"need {self.n_cars} car levels, got {len(car_levels)}"
+            )
+        if not 0.0 < participation <= 1.0:
+            raise ValueError(f"participation must be in (0, 1], got {participation}")
+        occupancy = [
+            int(rng.integers(*LEVEL_OCCUPANCY[level])) for level in car_levels
+        ]
+        phone_positions: Dict[int, float] = {}
+        phone_car: Dict[int, int] = {}
+        pid = 0
+        for car, n_people in enumerate(occupancy):
+            n_phones = max(1, int(round(n_people * participation)))
+            for __ in range(n_phones):
+                x = (car + float(rng.uniform(0.05, 0.95))) * self.car_length_m
+                phone_positions[pid] = x
+                phone_car[pid] = car
+                pid += 1
+        bias = {
+            p: float(rng.normal(0.0, self.phone_bias_sigma_db))
+            for p in phone_positions
+        }
+        refs = self.reference_positions()
+        ref_rssi = {
+            (p, r): self._rssi(px, rx, occupancy, rng) + bias[p]
+            for p, px in phone_positions.items()
+            for r, (__, rx) in refs.items()
+        }
+        phone_rssi = {}
+        phones = sorted(phone_positions)
+        for i, p1 in enumerate(phones):
+            for p2 in phones[i + 1 :]:
+                phone_rssi[(p1, p2)] = (
+                    self._rssi(
+                        phone_positions[p1], phone_positions[p2], occupancy, rng
+                    )
+                    + 0.5 * (bias[p1] + bias[p2])
+                )
+        return TrainObservation(
+            phone_car=phone_car,
+            ref_rssi=ref_rssi,
+            phone_rssi=phone_rssi,
+            car_levels=list(car_levels),
+            car_occupancy=occupancy,
+        )
+
+    def random_levels(self, rng: np.random.Generator) -> List[CongestionLevel]:
+        """Uniformly random per-car congestion levels."""
+        return [CongestionLevel(int(rng.integers(0, 3))) for __ in range(self.n_cars)]

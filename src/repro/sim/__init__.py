@@ -1,0 +1,20 @@
+"""Discrete-event simulation kernel.
+
+A minimal but complete event-driven simulator shared by the WSN and
+backscatter-MAC simulations: a binary-heap event queue with stable
+ordering, a :class:`Simulator` engine with monotonic virtual time, and
+process-style helpers (timers, periodic processes).
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.process import PeriodicProcess, Timer
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "SimulationError",
+    "PeriodicProcess",
+    "Timer",
+]

@@ -1,0 +1,89 @@
+"""Process-style helpers built on the event engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    Useful for MAC-layer timeouts: :meth:`start` arms it, :meth:`stop`
+    disarms, restarting while armed reschedules.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` from now."""
+        self.stop()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicProcess:
+    """Runs a callback every ``period`` units of virtual time.
+
+    The first invocation happens at ``start_offset`` after :meth:`start`.
+    The callback may call :meth:`stop` to terminate the process.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], None],
+        start_offset: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._start_offset = start_offset
+        self._event: Optional[Event] = None
+        self._stopped = True
+        self.invocations = 0
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def start(self) -> None:
+        """Begin periodic execution."""
+        self._stopped = False
+        self._event = self._sim.schedule(self._start_offset, self._tick)
+
+    def stop(self) -> None:
+        """Halt the process; safe to call from within the callback."""
+        self._stopped = True
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.invocations += 1
+        self._callback()
+        if not self._stopped:
+            self._event = self._sim.schedule(self._period, self._tick)

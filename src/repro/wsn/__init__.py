@@ -1,0 +1,44 @@
+"""Wireless-sensor-network simulator.
+
+Provides the mesh of tiny IoT devices that MicroDeep runs on: node and
+topology models (§III of the paper places sensor nodes on
+XY-coordinates), a log-distance radio with shadowing and fading, link
+and network layers with per-node traffic accounting (MicroDeep's
+communication-cost unit), simple TDMA/CSMA MACs on the DES kernel, and
+a Choco-style synchronized-collection round used by the RSSI
+crowd-counting experiment.
+"""
+
+from repro.wsn.node import SensorNode
+from repro.wsn.topology import GridTopology, RandomTopology, Topology
+from repro.wsn.radio import (
+    FadingModel,
+    LogDistancePathLoss,
+    RadioModel,
+    snr_to_per,
+)
+from repro.wsn.network import Message, Network, TrafficStats
+from repro.wsn.routing import shortest_path_route, sink_tree
+from repro.wsn.mac import CsmaMac, MacStats, TdmaMac
+from repro.wsn.choco import ChocoCollector, ChocoRound
+
+__all__ = [
+    "SensorNode",
+    "Topology",
+    "GridTopology",
+    "RandomTopology",
+    "RadioModel",
+    "LogDistancePathLoss",
+    "FadingModel",
+    "snr_to_per",
+    "Network",
+    "Message",
+    "TrafficStats",
+    "shortest_path_route",
+    "sink_tree",
+    "TdmaMac",
+    "CsmaMac",
+    "MacStats",
+    "ChocoCollector",
+    "ChocoRound",
+]

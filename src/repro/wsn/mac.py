@@ -1,0 +1,157 @@
+"""Simple MAC layers on the discrete-event kernel.
+
+These are the conventional-WSN MACs: a collision-free TDMA schedule
+and a slotted CSMA/CA with binary exponential backoff.  The
+backscatter-specific MAC of the paper's reference [64] lives in
+:mod:`repro.backscatter.mac`; these serve as the general substrate and
+as baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class MacStats:
+    """Transmission outcome counters."""
+
+    attempted: int = 0
+    delivered: int = 0
+    collided: int = 0
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.attempted if self.attempted else 0.0
+
+
+class TdmaMac:
+    """Round-robin TDMA: each node owns one slot per frame.
+
+    Collision-free by construction; latency is the price.  ``offer``
+    enqueues a packet at a node; packets drain one per owned slot.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_ids: List[int],
+        slot_duration: float,
+        on_delivery: Optional[Callable[[int, object], None]] = None,
+    ) -> None:
+        if not node_ids:
+            raise ValueError("need at least one node")
+        if slot_duration <= 0:
+            raise ValueError(f"slot_duration must be positive, got {slot_duration}")
+        self.sim = sim
+        self.node_ids = list(node_ids)
+        self.slot_duration = slot_duration
+        self.on_delivery = on_delivery
+        self.queues: Dict[int, List[object]] = {n: [] for n in node_ids}
+        self.stats = MacStats()
+        self._slot_index = 0
+        self._running = False
+
+    @property
+    def frame_duration(self) -> float:
+        return self.slot_duration * len(self.node_ids)
+
+    def offer(self, node_id: int, packet: object) -> None:
+        """Enqueue a packet for transmission at a node's next slot."""
+        if node_id not in self.queues:
+            raise KeyError(f"node {node_id} is not in the schedule")
+        self.queues[node_id].append(packet)
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("MAC already started")
+        self._running = True
+        self.sim.schedule(self.slot_duration, self._slot)
+
+    def _slot(self) -> None:
+        owner = self.node_ids[self._slot_index % len(self.node_ids)]
+        self._slot_index += 1
+        queue = self.queues[owner]
+        if queue:
+            packet = queue.pop(0)
+            self.stats.attempted += 1
+            self.stats.delivered += 1  # TDMA slots never collide
+            if self.on_delivery is not None:
+                self.on_delivery(owner, packet)
+        self.sim.schedule(self.slot_duration, self._slot)
+
+
+class CsmaMac:
+    """Slotted CSMA/CA abstraction with collision detection.
+
+    Nodes offered a packet in the same contention slot collide unless
+    exactly one transmits; collided packets retry with binary
+    exponential backoff up to ``max_backoff`` slots, then drop.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        slot_duration: float,
+        rng: np.random.Generator,
+        max_backoff_exponent: int = 5,
+        max_attempts: int = 7,
+        on_delivery: Optional[Callable[[int, object], None]] = None,
+    ) -> None:
+        if slot_duration <= 0:
+            raise ValueError(f"slot_duration must be positive, got {slot_duration}")
+        self.sim = sim
+        self.slot_duration = slot_duration
+        self.rng = rng
+        self.max_backoff_exponent = max_backoff_exponent
+        self.max_attempts = max_attempts
+        self.on_delivery = on_delivery
+        self.stats = MacStats()
+        #: packets contending in the current slot: list of (node, packet, attempt)
+        self._current_slot_tx: List[tuple] = []
+        self._slot_scheduled = False
+
+    def offer(self, node_id: int, packet: object, attempt: int = 0) -> None:
+        """Submit a packet for transmission starting next slot."""
+        backoff_slots = 0
+        if attempt > 0:
+            window = 2 ** min(attempt, self.max_backoff_exponent)
+            backoff_slots = int(self.rng.integers(0, window))
+        self.sim.schedule(
+            (backoff_slots + 1) * self.slot_duration,
+            self._arrive,
+            node_id,
+            packet,
+            attempt,
+        )
+
+    def _arrive(self, node_id: int, packet: object, attempt: int) -> None:
+        self._current_slot_tx.append((node_id, packet, attempt))
+        if not self._slot_scheduled:
+            self._slot_scheduled = True
+            # Resolve at the end of this slot (priority puts resolution
+            # after all same-time arrivals).
+            self.sim.schedule(0.0, self._resolve, priority=10)
+
+    def _resolve(self) -> None:
+        contenders = self._current_slot_tx
+        self._current_slot_tx = []
+        self._slot_scheduled = False
+        if not contenders:
+            return
+        self.stats.attempted += len(contenders)
+        if len(contenders) == 1:
+            node_id, packet, __ = contenders[0]
+            self.stats.delivered += 1
+            if self.on_delivery is not None:
+                self.on_delivery(node_id, packet)
+            return
+        self.stats.collided += len(contenders)
+        for node_id, packet, attempt in contenders:
+            if attempt + 1 < self.max_attempts:
+                self.offer(node_id, packet, attempt + 1)

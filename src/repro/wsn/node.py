@@ -1,0 +1,44 @@
+"""Sensor node model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.energy.capacitor import Capacitor
+
+
+@dataclass
+class SensorNode:
+    """A tiny IoT device placed at XY-coordinates.
+
+    MicroDeep assigns CNN units to these nodes; the WSN network layer
+    accounts traffic per node.  The optional capacitor turns the node
+    into a harvested zero-energy device (experiment E8).
+    """
+
+    node_id: int
+    position: Tuple[float, float]
+    capacitor: Optional[Capacitor] = None
+    alive: bool = True
+
+    #: Cumulative traffic counters maintained by the network layer.
+    tx_count: int = 0
+    rx_count: int = 0
+    tx_values: int = 0
+    rx_values: int = 0
+
+    def distance_to(self, other: "SensorNode") -> float:
+        dx = self.position[0] - other.position[0]
+        dy = self.position[1] - other.position[1]
+        return (dx * dx + dy * dy) ** 0.5
+
+    def fail(self) -> None:
+        """Mark the node broken (paper §V: resilient ML with broken devices)."""
+        self.alive = False
+
+    def reset_counters(self) -> None:
+        self.tx_count = 0
+        self.rx_count = 0
+        self.tx_values = 0
+        self.rx_values = 0

@@ -1,0 +1,117 @@
+"""Radio propagation: path loss, shadowing, fading, packet errors.
+
+The log-distance model with log-normal shadowing is the workhorse for
+indoor RSSI prediction; Rayleigh fading adds small-scale variation.
+``snr_to_per`` converts link SNR into a packet error rate via a BPSK
+bit-error bound, which is accurate enough for the MAC-level trade-offs
+the paper discusses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+BOLTZMANN_DBM = -174.0  # thermal noise density, dBm/Hz
+
+
+@dataclass
+class LogDistancePathLoss:
+    """PL(d) = PL(d0) + 10 n log10(d/d0), in dB.
+
+    Args:
+        exponent: path-loss exponent (2 free space, 3-4 indoor).
+        ref_loss_db: loss at the reference distance.
+        ref_distance_m: reference distance d0.
+    """
+
+    exponent: float = 3.0
+    ref_loss_db: float = 40.0
+    ref_distance_m: float = 1.0
+
+    def loss_db(self, distance_m: float) -> float:
+        d = max(distance_m, self.ref_distance_m * 1e-3)
+        return self.ref_loss_db + 10.0 * self.exponent * math.log10(
+            d / self.ref_distance_m
+        )
+
+
+@dataclass
+class FadingModel:
+    """Log-normal shadowing plus optional Rayleigh fading (both dB)."""
+
+    shadowing_sigma_db: float = 3.0
+    rayleigh: bool = False
+
+    def sample_db(self, rng: np.random.Generator) -> float:
+        fade = rng.normal(0.0, self.shadowing_sigma_db)
+        if self.rayleigh:
+            # Rayleigh envelope power in dB relative to the mean.
+            power = rng.exponential(1.0)
+            fade += 10.0 * math.log10(max(power, 1e-12))
+        return float(fade)
+
+
+def snr_to_per(snr_db: float, payload_bits: int) -> float:
+    """Packet error rate from SNR using the BPSK BER bound
+    ``ber = 0.5 * exp(-snr)`` and independent bit errors."""
+    if payload_bits <= 0:
+        raise ValueError(f"payload_bits must be positive, got {payload_bits}")
+    snr = 10.0 ** (snr_db / 10.0)
+    ber = 0.5 * math.exp(-snr)
+    per = 1.0 - (1.0 - ber) ** payload_bits
+    return min(max(per, 0.0), 1.0)
+
+
+class RadioModel:
+    """End-to-end link model: TX power -> RSSI -> SNR -> PER.
+
+    Args:
+        tx_power_dbm: transmit power.
+        path_loss: large-scale loss model.
+        fading: small-scale/shadowing model.
+        noise_figure_db: receiver noise figure.
+        bandwidth_hz: receiver bandwidth (sets the noise floor).
+    """
+
+    def __init__(
+        self,
+        tx_power_dbm: float = 0.0,
+        path_loss: LogDistancePathLoss = None,
+        fading: FadingModel = None,
+        noise_figure_db: float = 6.0,
+        bandwidth_hz: float = 2e6,
+    ) -> None:
+        self.tx_power_dbm = tx_power_dbm
+        self.path_loss = path_loss if path_loss is not None else LogDistancePathLoss()
+        self.fading = fading if fading is not None else FadingModel()
+        self.noise_floor_dbm = (
+            BOLTZMANN_DBM + 10.0 * math.log10(bandwidth_hz) + noise_figure_db
+        )
+
+    def mean_rssi_dbm(self, distance_m: float) -> float:
+        """Expected RSSI without fading."""
+        return self.tx_power_dbm - self.path_loss.loss_db(distance_m)
+
+    def rssi_dbm(self, distance_m: float, rng: np.random.Generator) -> float:
+        """One RSSI sample including fading."""
+        return self.mean_rssi_dbm(distance_m) + self.fading.sample_db(rng)
+
+    def snr_db(self, rssi_dbm: float) -> float:
+        return rssi_dbm - self.noise_floor_dbm
+
+    def packet_error_rate(
+        self, distance_m: float, payload_bits: int, rng: np.random.Generator
+    ) -> float:
+        """PER for one packet at this distance (fading resampled)."""
+        rssi = self.rssi_dbm(distance_m, rng)
+        return snr_to_per(self.snr_db(rssi), payload_bits)
+
+    def delivery_succeeds(
+        self, distance_m: float, payload_bits: int, rng: np.random.Generator
+    ) -> bool:
+        """Bernoulli delivery draw for one packet."""
+        per = self.packet_error_rate(distance_m, payload_bits, rng)
+        return bool(rng.random() >= per)

@@ -1,0 +1,42 @@
+"""Routing over the topology graph."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.wsn.topology import Topology
+
+
+def shortest_path_route(
+    topology: Topology, src: int, dst: int
+) -> Optional[List[int]]:
+    """Hop-minimizing route from src to dst over alive nodes.
+
+    Returns the node-id path including both endpoints, or None when
+    disconnected.
+    """
+    if src == dst:
+        return [src]
+    g = topology.graph()
+    if src not in g or dst not in g:
+        return None
+    try:
+        return nx.shortest_path(g, src, dst)
+    except nx.NetworkXNoPath:
+        return None
+
+
+def sink_tree(topology: Topology, sink: int) -> Dict[int, Optional[int]]:
+    """Parent pointers of a BFS collection tree rooted at ``sink``.
+
+    Unreachable nodes are absent; the sink maps to None.
+    """
+    g = topology.graph()
+    if sink not in g:
+        raise KeyError(f"sink {sink} is not an alive node")
+    parents: Dict[int, Optional[int]] = {sink: None}
+    for child, parent in nx.bfs_predecessors(g, sink):
+        parents[child] = parent
+    return parents

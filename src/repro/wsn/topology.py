@@ -1,0 +1,137 @@
+"""Topologies: node placement and connectivity graphs."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.wsn.node import SensorNode
+
+
+class Topology:
+    """A set of sensor nodes plus a communication radius.
+
+    Connectivity is geometric: two alive nodes are linked when their
+    distance is at most ``comm_range``.
+    """
+
+    def __init__(self, nodes: List[SensorNode], comm_range: float) -> None:
+        if comm_range <= 0:
+            raise ValueError(f"comm_range must be positive, got {comm_range}")
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("node ids must be unique")
+        self.nodes: Dict[int, SensorNode] = {n.node_id: n for n in nodes}
+        self.comm_range = comm_range
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[SensorNode]:
+        return iter(self.nodes.values())
+
+    def node(self, node_id: int) -> SensorNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise KeyError(f"no node with id {node_id}") from None
+
+    def alive_nodes(self) -> List[SensorNode]:
+        return [n for n in self.nodes.values() if n.alive]
+
+    def neighbors(self, node_id: int) -> List[SensorNode]:
+        """Alive nodes within communication range of ``node_id``."""
+        center = self.node(node_id)
+        return [
+            n
+            for n in self.nodes.values()
+            if n.node_id != node_id
+            and n.alive
+            and center.distance_to(n) <= self.comm_range
+        ]
+
+    def graph(self) -> nx.Graph:
+        """Connectivity graph over alive nodes (edge weight = distance)."""
+        g = nx.Graph()
+        alive = self.alive_nodes()
+        for n in alive:
+            g.add_node(n.node_id, pos=n.position)
+        for i, a in enumerate(alive):
+            for b in alive[i + 1 :]:
+                d = a.distance_to(b)
+                if d <= self.comm_range:
+                    g.add_edge(a.node_id, b.node_id, weight=d)
+        return g
+
+    def is_connected(self) -> bool:
+        g = self.graph()
+        return len(g) > 0 and nx.is_connected(g)
+
+
+class GridTopology(Topology):
+    """Nodes on a regular rows x cols grid with given spacing.
+
+    This is the paper's canonical deployment (Fig. 8: CNN assigned to
+    XY-coordinates of a mesh-like network).  ``node_at(row, col)``
+    converts grid indices to nodes; node ids are row-major.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        spacing: float = 1.0,
+        comm_range: Optional[float] = None,
+    ) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        if comm_range is None:
+            # Reaches the 8-neighbourhood by default.
+            comm_range = spacing * 1.5
+        nodes = [
+            SensorNode(node_id=r * cols + c, position=(c * spacing, r * spacing))
+            for r in range(rows)
+            for c in range(cols)
+        ]
+        super().__init__(nodes, comm_range)
+        self.rows = rows
+        self.cols = cols
+        self.spacing = spacing
+
+    def node_at(self, row: int, col: int) -> SensorNode:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"grid position ({row}, {col}) out of bounds")
+        return self.node(row * self.cols + col)
+
+    def grid_position(self, node_id: int) -> Tuple[int, int]:
+        """Inverse of :meth:`node_at`: ``(row, col)`` of a node id."""
+        if node_id not in self.nodes:
+            raise KeyError(f"no node with id {node_id}")
+        return divmod(node_id, self.cols)
+
+
+class RandomTopology(Topology):
+    """Uniformly random placement in a rectangle."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        width: float,
+        height: float,
+        comm_range: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        nodes = [
+            SensorNode(
+                node_id=i,
+                position=(float(rng.uniform(0, width)), float(rng.uniform(0, height))),
+            )
+            for i in range(n_nodes)
+        ]
+        super().__init__(nodes, comm_range)
+        self.width = width
+        self.height = height

@@ -1,0 +1,143 @@
+"""Tests for NetScatter concurrency and inter-technology backscatter."""
+
+import numpy as np
+import pytest
+
+from repro.backscatter import (
+    InterTechLink,
+    NetScatterConfig,
+    NetScatterReceiver,
+    PUBLISHED_SYSTEMS,
+    concurrent_throughput_bps,
+    published_link,
+    run_concurrent_trial,
+    tdma_throughput_bps,
+)
+from repro.backscatter.netscatter import base_chirp, shifted_chirp
+
+RNG = np.random.default_rng(61)
+
+
+class TestChirps:
+    def test_unit_amplitude(self):
+        c = base_chirp(128)
+        np.testing.assert_allclose(np.abs(c), 1.0, atol=1e-12)
+
+    def test_shift_orthogonality_after_dechirp(self):
+        """Distinct cyclic shifts land in distinct FFT bins."""
+        n = 128
+        base = base_chirp(n)
+        for shift in [1, 17, 64]:
+            spectrum = np.abs(np.fft.fft(shifted_chirp(n, shift) * np.conj(base)))
+            peak_bin = int(spectrum.argmax())
+            zero_bin = int(
+                np.abs(np.fft.fft(base * np.conj(base))).argmax()
+            )
+            assert peak_bin != zero_bin
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            base_chirp(1)
+        with pytest.raises(ValueError):
+            shifted_chirp(64, 64)
+
+
+class TestNetScatterConfig:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            NetScatterConfig(spreading=100)
+        with pytest.raises(ValueError):
+            NetScatterConfig(symbol_rate_hz=0.0)
+
+
+class TestNetScatterDecoding:
+    def test_single_device_roundtrip(self):
+        cfg = NetScatterConfig(spreading=128)
+        rx = NetScatterReceiver(cfg)
+        decoded = rx.decode_slot({32: 1}, {32: 1.0}, noise_std=0.5, rng=RNG)
+        assert decoded[32] == 1
+        decoded = rx.decode_slot({32: 0}, {32: 1.0}, noise_std=0.5, rng=RNG)
+        assert decoded[32] == 0
+
+    def test_many_concurrent_devices(self):
+        """Tens of devices decode simultaneously — NetScatter's point."""
+        cfg = NetScatterConfig(spreading=256)
+        ber = run_concurrent_trial(cfg, n_devices=50, n_slots=30,
+                                   snr_db=3.0, rng=np.random.default_rng(2))
+        assert ber < 0.05
+
+    def test_ber_degrades_at_low_snr(self):
+        cfg = NetScatterConfig(spreading=128)
+        good = run_concurrent_trial(cfg, 20, 30, snr_db=6.0,
+                                    rng=np.random.default_rng(3))
+        bad = run_concurrent_trial(cfg, 20, 30, snr_db=-15.0,
+                                   rng=np.random.default_rng(3))
+        assert bad > good
+
+    def test_detect_shape_validation(self):
+        rx = NetScatterReceiver(NetScatterConfig(spreading=64))
+        with pytest.raises(ValueError):
+            rx.detect(np.zeros(32, dtype=complex))
+
+
+class TestThroughputScaling:
+    def test_concurrent_scales_linearly(self):
+        cfg = NetScatterConfig(spreading=256, symbol_rate_hz=1000.0)
+        assert concurrent_throughput_bps(cfg, 100) == 100_000.0
+        assert concurrent_throughput_bps(cfg, 200) == 2 * concurrent_throughput_bps(cfg, 100)
+
+    def test_concurrent_beats_tdma_at_scale(self):
+        """With many devices, concurrent ON-OFF keying beats taking
+        turns even though each chirp carries fewer bits."""
+        cfg = NetScatterConfig(spreading=256)
+        tdma = tdma_throughput_bps(cfg, 100)
+        concurrent = concurrent_throughput_bps(cfg, 100)
+        assert concurrent > 5 * tdma
+
+    def test_validation(self):
+        cfg = NetScatterConfig(spreading=64)
+        with pytest.raises(ValueError):
+            concurrent_throughput_bps(cfg, 0)
+        with pytest.raises(ValueError):
+            concurrent_throughput_bps(cfg, 65)
+        with pytest.raises(ValueError):
+            tdma_throughput_bps(cfg, 0)
+        with pytest.raises(ValueError):
+            run_concurrent_trial(cfg, 4, 0, 0.0, RNG)
+
+
+class TestInterTech:
+    @pytest.mark.parametrize("name", sorted(PUBLISHED_SYSTEMS))
+    def test_published_systems_feasible(self, name):
+        """Every published system's shift/rate arithmetic checks out."""
+        link = published_link(name)
+        assert link.feasible, name
+        assert link.data_rate_bps > 0
+
+    def test_passive_wifi_rate(self):
+        """Passive Wi-Fi demonstrated 11 Mbps 802.11b from a tone."""
+        link = published_link("passive-wifi")
+        assert link.data_rate_bps == pytest.approx(11e6)
+
+    def test_zigbee_rate(self):
+        link = published_link("passive-zigbee")
+        assert link.data_rate_bps == pytest.approx(250e3)
+
+    def test_shift_budget_enforced(self):
+        """A slow switch cannot produce a 38 MHz shift."""
+        link = InterTechLink.named("cw", "wifi", max_switch_rate_hz=10e6)
+        assert not link.feasible
+        assert link.data_rate_bps == 0.0
+
+    def test_tag_power_in_uw_band(self):
+        """The shifting tag still lands in the tens-of-uW band the
+        paper cites for backscatter."""
+        for name in PUBLISHED_SYSTEMS:
+            power = published_link(name).tag_power_w()
+            assert power < 100e-6, name
+
+    def test_unknown_names(self):
+        with pytest.raises(KeyError):
+            InterTechLink.named("smoke-signals", "wifi")
+        with pytest.raises(KeyError):
+            published_link("quantum-scatter")

@@ -1,0 +1,130 @@
+"""Tests for the backscatter-aware MAC (paper ref. [64]) and baseline."""
+
+import numpy as np
+import pytest
+
+from repro.backscatter import (
+    BackscatterDevice,
+    ContentionBackscatterMac,
+    ScheduledBackscatterMac,
+    WlanTrafficModel,
+    run_coexistence,
+)
+from repro.sim import Simulator
+
+
+def run(mac_class, n_devices=5, period=1.0, wlan_rate=50.0, duration=200.0,
+        seed=0, **kw):
+    return run_coexistence(
+        mac_class, n_devices, period, wlan_rate, duration, seed, **kw
+    )
+
+
+class TestValidation:
+    def test_device_period(self):
+        with pytest.raises(ValueError):
+            BackscatterDevice(0, period_s=0.0)
+
+    def test_wlan_model(self):
+        with pytest.raises(ValueError):
+            WlanTrafficModel(rate_pps=-1.0)
+        with pytest.raises(ValueError):
+            WlanTrafficModel(rate_pps=1.0, airtime_s=0.0)
+
+    def test_mac_needs_devices(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ScheduledBackscatterMac(
+                sim, [], WlanTrafficModel(1.0), np.random.default_rng(0)
+            )
+
+    def test_run_coexistence_validation(self):
+        with pytest.raises(ValueError):
+            run(ScheduledBackscatterMac, n_devices=0)
+        with pytest.raises(ValueError):
+            run(ScheduledBackscatterMac, duration=-1.0)
+
+
+class TestScheduledMac:
+    def test_high_delivery_with_ample_traffic(self):
+        res = run(ScheduledBackscatterMac, wlan_rate=100.0, channel_error=0.02)
+        assert res.delivery_ratio > 0.95
+        assert res.backscatter_collisions == 0
+
+    def test_never_collides(self):
+        res = run(ScheduledBackscatterMac, n_devices=30, wlan_rate=200.0)
+        assert res.backscatter_collisions == 0
+
+    def test_dummy_packets_cover_sparse_wlan(self):
+        """With almost no WLAN traffic, dummy carriers keep delivery up."""
+        res = run(ScheduledBackscatterMac, wlan_rate=0.5, channel_error=0.02)
+        assert res.dummy_packets > 0
+        assert res.delivery_ratio > 0.9
+
+    def test_no_dummies_needed_when_traffic_dense(self):
+        res = run(ScheduledBackscatterMac, wlan_rate=500.0)
+        assert res.dummy_overhead_fraction < 0.05
+
+    def test_latency_bounded_by_wait_fraction(self):
+        res = run(
+            ScheduledBackscatterMac, wlan_rate=0.1, channel_error=0.0,
+            max_wait_fraction=0.25, period=2.0,
+        )
+        # Dummies fire at 25% of the 2 s period; allow channel retries.
+        assert res.mean_latency_s <= 0.6
+
+    def test_counters_consistent(self):
+        res = run(ScheduledBackscatterMac, seed=3)
+        assert res.readings_delivered <= res.readings_generated
+        assert res.deadline_misses <= res.readings_generated
+
+
+class TestContentionMac:
+    def test_single_device_works_fine(self):
+        res = run(ContentionBackscatterMac, n_devices=1, wlan_rate=100.0,
+                  channel_error=0.02)
+        assert res.delivery_ratio > 0.95
+
+    def test_many_devices_collide(self):
+        res = run(ContentionBackscatterMac, n_devices=20, wlan_rate=100.0)
+        assert res.backscatter_collisions > 0
+
+    def test_starves_without_wlan_traffic(self):
+        res = run(ContentionBackscatterMac, wlan_rate=0.5)
+        assert res.dummy_packets == 0
+        assert res.delivery_ratio < 0.7
+
+    def test_p_persistence_reduces_collisions(self):
+        naive = run(ContentionBackscatterMac, n_devices=10, wlan_rate=100.0,
+                    attempt_probability=1.0)
+        gated = run(ContentionBackscatterMac, n_devices=10, wlan_rate=100.0,
+                    attempt_probability=0.3)
+        assert gated.delivery_ratio > naive.delivery_ratio
+
+
+class TestPaperShape:
+    """E6's headline: the registered/scheduled MAC beats contention."""
+
+    @pytest.mark.parametrize("wlan_rate", [1.0, 20.0, 100.0])
+    def test_scheduled_beats_contention(self, wlan_rate):
+        sched = run(ScheduledBackscatterMac, n_devices=10, wlan_rate=wlan_rate,
+                    seed=1)
+        cont = run(ContentionBackscatterMac, n_devices=10, wlan_rate=wlan_rate,
+                   seed=1)
+        assert sched.delivery_ratio > cont.delivery_ratio
+
+    def test_gap_widens_with_more_devices(self):
+        gaps = []
+        for n in [2, 10, 25]:
+            sched = run(ScheduledBackscatterMac, n_devices=n, wlan_rate=60.0,
+                        seed=2)
+            cont = run(ContentionBackscatterMac, n_devices=n, wlan_rate=60.0,
+                       seed=2)
+            gaps.append(sched.delivery_ratio - cont.delivery_ratio)
+        assert gaps[-1] > gaps[0]
+
+    def test_deterministic_given_seed(self):
+        r1 = run(ScheduledBackscatterMac, seed=9)
+        r2 = run(ScheduledBackscatterMac, seed=9)
+        assert r1.delivery_ratio == r2.delivery_ratio
+        assert r1.dummy_packets == r2.dummy_packets

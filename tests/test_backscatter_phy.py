@@ -1,0 +1,99 @@
+"""Tests for the backscatter PHY link budget."""
+
+import pytest
+
+from repro.backscatter import (
+    BackscatterLink,
+    BackscatterTag,
+    CarrierSource,
+    ambient_wifi_carrier,
+    dedicated_cw_carrier,
+    tv_tower_carrier,
+    zigbee_2_4ghz,
+)
+
+
+class TestCarrierSources:
+    def test_presets(self):
+        assert ambient_wifi_carrier().frequency_hz == 2.4e9
+        assert tv_tower_carrier().duty_cycle == 1.0
+        assert dedicated_cw_carrier().name == "cw"
+
+    def test_invalid_duty_cycle(self):
+        with pytest.raises(ValueError):
+            CarrierSource("x", 0.0, 2.4e9, duty_cycle=0.0)
+
+
+class TestTag:
+    def test_paper_power_order(self):
+        tag = BackscatterTag()
+        assert tag.power_w == pytest.approx(10e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackscatterTag(reflection_loss_db=-1.0)
+        with pytest.raises(ValueError):
+            BackscatterTag(bitrate_bps=0.0)
+
+
+class TestLinkBudget:
+    def _link(self, **kw):
+        return BackscatterLink(
+            carrier=dedicated_cw_carrier(20.0), tag=BackscatterTag(), **kw
+        )
+
+    def test_power_decreases_with_either_distance(self):
+        link = self._link()
+        base = link.received_power_dbm(2.0, 2.0)
+        assert link.received_power_dbm(4.0, 2.0) < base
+        assert link.received_power_dbm(2.0, 4.0) < base
+
+    def test_reflection_loss_subtracted(self):
+        lossy = BackscatterLink(
+            dedicated_cw_carrier(20.0), BackscatterTag(reflection_loss_db=20.0)
+        )
+        clean = BackscatterLink(
+            dedicated_cw_carrier(20.0), BackscatterTag(reflection_loss_db=0.0)
+        )
+        assert (
+            clean.received_power_dbm(2.0, 2.0)
+            - lossy.received_power_dbm(2.0, 2.0)
+        ) == pytest.approx(20.0)
+
+    def test_close_link_decodable(self):
+        assert self._link().decodable(1.0, 1.0)
+
+    def test_far_link_not_decodable(self):
+        assert not self._link().decodable(100.0, 1000.0)
+
+    def test_per_one_when_undecodable(self):
+        assert self._link().packet_error_rate(100.0, 1000.0, 128) == 1.0
+
+    def test_throughput_scales_with_duty_cycle(self):
+        bursty = BackscatterLink(ambient_wifi_carrier(20.0, 0.25), BackscatterTag())
+        continuous = BackscatterLink(dedicated_cw_carrier(20.0), BackscatterTag())
+        t_b = bursty.effective_throughput_bps(1.0, 1.0, 128)
+        t_c = continuous.effective_throughput_bps(1.0, 1.0, 128)
+        assert t_b == pytest.approx(0.25 * t_c, rel=1e-6)
+
+    def test_max_range_meters_scale(self):
+        """Paper: recent RFID/backscatter reaches several meters to
+        tens of meters."""
+        rng = zigbee_2_4ghz().max_range_m(carrier_to_tag_m=1.0)
+        assert 1.0 < rng < 200.0
+
+    def test_max_range_zero_when_hopeless(self):
+        link = self._link()
+        assert link.max_range_m(carrier_to_tag_m=1e6) == 0.0
+
+    def test_max_range_is_decodability_boundary(self):
+        link = self._link()
+        r = link.max_range_m(1.0)
+        if 0.0 < r < 1000.0:
+            assert link.decodable(1.0, r * 0.99)
+            assert not link.decodable(1.0, r * 1.01)
+
+    def test_stronger_carrier_longer_range(self):
+        weak = BackscatterLink(dedicated_cw_carrier(10.0), BackscatterTag())
+        strong = BackscatterLink(dedicated_cw_carrier(30.0), BackscatterTag())
+        assert strong.max_range_m(1.0) > weak.max_range_m(1.0)

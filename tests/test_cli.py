@@ -1,0 +1,39 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.cli import EXAMPLES, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXAMPLES:
+            assert name in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "ICDCS 2019" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "teleportation"]) == 2
+        assert "unknown example" in capsys.readouterr().err
+
+    def test_run_quickstart(self, capsys):
+        assert main(["run", "quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "communication cost" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_all_examples_exist(self):
+        from repro.cli import _examples_dir
+
+        examples = _examples_dir()
+        assert examples is not None
+        for __, (filename, __d) in EXAMPLES.items():
+            assert (examples / filename).exists(), filename

@@ -1,0 +1,109 @@
+"""Tests for congestion estimation and crowd counting."""
+
+import numpy as np
+import pytest
+
+from repro.contexts import CongestionEstimator, CrowdCounter
+from repro.sensing import CongestionLevel, RoomOccupancyScenario, TrainScenario
+
+RNG = np.random.default_rng(41)
+
+
+def make_train_data(scenario, n_obs, seed, participation=0.35):
+    rng = np.random.default_rng(seed)
+    return [
+        scenario.generate(scenario.random_levels(rng), participation, rng)
+        for __ in range(n_obs)
+    ]
+
+
+class TestCongestionEstimator:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        scenario = TrainScenario(n_cars=4)
+        estimator = CongestionEstimator(scenario)
+        estimator.calibrate(make_train_data(scenario, 40, seed=1))
+        return scenario, estimator
+
+    def test_requires_calibration(self):
+        scenario = TrainScenario()
+        est = CongestionEstimator(scenario)
+        obs = make_train_data(scenario, 1, seed=0)[0]
+        with pytest.raises(RuntimeError):
+            est.estimate_positions(obs)
+        with pytest.raises(RuntimeError):
+            est.estimate_congestion(obs)
+
+    def test_calibrate_empty_raises(self):
+        with pytest.raises(ValueError):
+            CongestionEstimator(TrainScenario()).calibrate([])
+
+    def test_positions_cover_phones(self, fitted):
+        scenario, estimator = fitted
+        obs = make_train_data(scenario, 1, seed=2)[0]
+        positions = estimator.estimate_positions(obs)
+        assert set(positions) == set(obs.phone_car)
+        for est in positions.values():
+            assert 0 <= est.car < scenario.n_cars
+            assert 0.0 < est.reliability <= 1.0
+
+    def test_position_accuracy_beats_chance(self, fitted):
+        scenario, estimator = fitted
+        result = estimator.evaluate(make_train_data(scenario, 10, seed=3))
+        assert result.position_accuracy > 1.0 / scenario.n_cars + 0.2
+
+    def test_congestion_levels_valid(self, fitted):
+        scenario, estimator = fitted
+        obs = make_train_data(scenario, 1, seed=4)[0]
+        levels = estimator.estimate_congestion(obs)
+        assert len(levels) == scenario.n_cars
+        assert all(isinstance(l, CongestionLevel) for l in levels)
+
+    def test_congestion_beats_chance(self, fitted):
+        scenario, estimator = fitted
+        result = estimator.evaluate(make_train_data(scenario, 10, seed=5))
+        assert result.congestion_accuracy > 1.0 / 3 + 0.1
+        assert result.congestion_f_measure > 0.4
+
+
+class TestCrowdCounter:
+    @pytest.fixture(scope="class")
+    def room(self):
+        return RoomOccupancyScenario(max_people=8)
+
+    def test_requires_fit(self, room):
+        counter = CrowdCounter()
+        obs = [room.observe(1, np.random.default_rng(0))]
+        with pytest.raises(RuntimeError):
+            counter.predict_people(obs)
+        with pytest.raises(RuntimeError):
+            counter.predict_devices(obs)
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            CrowdCounter().fit([])
+
+    def test_counts_beat_chance(self, room):
+        rng = np.random.default_rng(6)
+        train = room.generate_dataset(12, rng)
+        test = room.generate_dataset(4, np.random.default_rng(7))
+        counter = CrowdCounter().fit(train)
+        result = counter.evaluate(test)
+        n_classes = room.max_people + 1
+        assert result.people_accuracy > 1.0 / n_classes + 0.1
+        assert result.people_within_2 > result.people_accuracy
+
+    def test_device_estimate_tracks_truth(self, room):
+        rng = np.random.default_rng(8)
+        train = room.generate_dataset(12, rng)
+        counter = CrowdCounter().fit(train)
+        test = room.generate_dataset(4, np.random.default_rng(9))
+        result = counter.evaluate(test)
+        assert result.device_mae < 4.0
+
+    def test_predictions_non_negative(self, room):
+        rng = np.random.default_rng(10)
+        train = room.generate_dataset(8, rng)
+        counter = CrowdCounter().fit(train)
+        test = [room.observe(0, np.random.default_rng(11))]
+        assert counter.predict_devices(test)[0] >= 0.0

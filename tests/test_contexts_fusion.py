@@ -1,0 +1,67 @@
+"""Tests for direct/indirect sensing fusion (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.contexts import DirectSensingField, FusionLocalizer
+from repro.sensing import default_patterns
+
+RNG = np.random.default_rng(151)
+
+
+class TestDirectField:
+    def test_detection_decays_with_distance(self):
+        field = DirectSensingField([(0.0, 0.0)], radius_m=1.0)
+        near = field.detection_probability(0, (0.1, 0.0))
+        far = field.detection_probability(0, (4.0, 0.0))
+        assert near > 0.9
+        assert far < 0.1
+
+    def test_false_positive_floor(self):
+        field = DirectSensingField([(0.0, 0.0)], false_positive_rate=0.05)
+        assert field.detection_probability(0, (100.0, 100.0)) == 0.05
+
+    def test_observe_shape(self):
+        field = DirectSensingField([(0.0, 0.0), (2.0, 2.0), (4.0, 0.0)])
+        bits = field.observe((2.0, 2.0), RNG)
+        assert bits.shape == (3,)
+        assert set(np.unique(bits)) <= {0.0, 1.0}
+
+    def test_on_top_of_tag_fires(self):
+        field = DirectSensingField([(1.0, 1.0)])
+        hits = sum(field.observe((1.0, 1.0), RNG)[0] for __ in range(30))
+        assert hits >= 27
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DirectSensingField([])
+        with pytest.raises(ValueError):
+            DirectSensingField([(0, 0)], radius_m=0.0)
+
+
+class TestFusionLocalizer:
+    def test_dataset_alignment(self):
+        loc = FusionLocalizer()
+        pattern = default_patterns()[3]
+        csi_x, direct, y = loc.generate_dataset(pattern, 2, RNG, window=2)
+        assert len(csi_x) == len(direct) == len(y) == 14
+        assert direct.shape[1] == loc.field.n_tags
+
+    def test_fusion_never_much_worse_than_best(self):
+        """Fig. 3's claim at test scale: the fused model matches or
+        beats the best single modality."""
+        loc = FusionLocalizer()
+        pattern = [
+            p for p in default_patterns() if p.name == "walk-divergent-noisy"
+        ][0]
+        result = loc.evaluate(pattern, 10, np.random.default_rng(2), window=4)
+        best_single = max(result.direct_accuracy, result.indirect_accuracy)
+        assert result.fused_accuracy >= best_single - 0.05
+        # Direct-only is genuinely limited (tags cover 3 of 7 positions).
+        assert result.direct_accuracy < 0.9
+
+    def test_direct_only_above_chance(self):
+        loc = FusionLocalizer()
+        pattern = default_patterns()[3]
+        result = loc.evaluate(pattern, 8, np.random.default_rng(3), window=2)
+        assert result.direct_accuracy > 1.0 / 7

@@ -1,0 +1,75 @@
+"""Tests for CSI gesture recognition (survey §II.B)."""
+
+import numpy as np
+import pytest
+
+from repro.contexts import GestureRecognizer
+from repro.sensing import CsiGestureScenario, Gesture, gesture_trajectory
+
+RNG = np.random.default_rng(81)
+
+
+class TestTrajectories:
+    def test_shapes(self):
+        for gesture in Gesture:
+            path = gesture_trajectory(gesture, 20, (3.0, 2.0), 0.5, RNG)
+            assert path.shape == (20, 2)
+
+    def test_swipes_are_mirrored(self):
+        rng1 = np.random.default_rng(0)
+        rng2 = np.random.default_rng(0)
+        right = gesture_trajectory(Gesture.SWIPE_RIGHT, 20, (3.0, 2.0), 0.5, rng1)
+        left = gesture_trajectory(Gesture.SWIPE_LEFT, 20, (3.0, 2.0), 0.5, rng2)
+        assert right[-1, 0] > right[0, 0]
+        assert left[-1, 0] < left[0, 0]
+
+    def test_circle_returns_to_start(self):
+        path = gesture_trajectory(Gesture.CIRCLE, 40, (3.0, 2.0), 0.5,
+                                  np.random.default_rng(1))
+        assert np.linalg.norm(path[-1] - path[0]) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gesture_trajectory(Gesture.PUSH, 2, (0, 0), 0.5, RNG)
+
+
+class TestScenario:
+    def test_execution_feature_shape(self):
+        scenario = CsiGestureScenario(n_frames=8)
+        frames = scenario.capture_execution(Gesture.PUSH, RNG)
+        assert frames.shape == (8, 624)
+
+    def test_sequence_features_dimension(self):
+        scenario = CsiGestureScenario(n_frames=9)
+        frames = scenario.capture_execution(Gesture.WAVE, RNG)
+        feats = scenario.sequence_features(frames)
+        # 6 x 624 thirds stats + 8 energy samples
+        assert feats.shape == (6 * 624 + 8,)
+
+    def test_dataset_balanced(self):
+        scenario = CsiGestureScenario(n_frames=6)
+        x, y = scenario.generate_dataset(2, RNG)
+        assert len(x) == 2 * len(Gesture)
+        assert np.bincount(y).tolist() == [2] * len(Gesture)
+
+    def test_validation(self):
+        scenario = CsiGestureScenario()
+        with pytest.raises(ValueError):
+            scenario.generate_dataset(0, RNG)
+        with pytest.raises(ValueError):
+            scenario.sequence_features(np.zeros((2, 624)))
+
+
+class TestRecognizer:
+    def test_infer_before_learn_raises(self):
+        with pytest.raises(RuntimeError):
+            GestureRecognizer().infer(np.zeros((1, 10)))
+
+    def test_recognizes_above_chance(self):
+        """Coarse but fast configuration: clearly above the 20 %
+        chance level (the full 40-frame configuration reaches ~90 %,
+        see the A2 ablation bench)."""
+        recognizer = GestureRecognizer(CsiGestureScenario(n_frames=24))
+        result = recognizer.evaluate(8, np.random.default_rng(3))
+        assert result.accuracy > 0.4
+        assert result.confusion.shape == (5, 5)

@@ -1,0 +1,109 @@
+"""Tests for Motion-Fi repetition counting and RF-Kinect postures."""
+
+import numpy as np
+import pytest
+
+from repro.contexts import (
+    Posture,
+    PostureClassifier,
+    RepetitionCounter,
+    count_repetitions,
+)
+from repro.contexts.motionfi import POSTURE_TAG_HEIGHTS
+
+RNG = np.random.default_rng(131)
+
+
+class TestCycleCounting:
+    def test_clean_sine(self):
+        t = np.linspace(0, 5, 500)
+        x = np.sin(2 * np.pi * t)  # 5 full cycles
+        assert count_repetitions(x) == 5
+
+    def test_flat_series_zero(self):
+        assert count_repetitions(np.zeros(100)) == 0
+
+    def test_noise_rejected_by_hysteresis(self):
+        rng = np.random.default_rng(0)
+        t = np.linspace(0, 3, 300)
+        x = np.sin(2 * np.pi * t) + rng.normal(0, 0.08, size=t.shape)
+        assert count_repetitions(x) == 3
+
+    def test_partial_cycle_not_counted(self):
+        t = np.linspace(0, 0.4, 50)
+        x = np.sin(2 * np.pi * t)  # rises but never completes
+        assert count_repetitions(x) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            count_repetitions(np.zeros(2))
+
+
+class TestRepetitionCounter:
+    def test_end_to_end_squat_count(self):
+        """Phase-read displacement recovers the programmed rep count."""
+        counter = RepetitionCounter(dt=0.05)
+        rng = np.random.default_rng(1)
+        for n_reps in [3, 7, 12]:
+            distances = counter.synthesize_exercise(
+                n_reps, rep_period_s=2.0, amplitude_m=0.25, rng=rng
+            )
+            counted = counter.count_from_distances(distances, rng)
+            assert counted == n_reps, n_reps
+
+    def test_zero_reps(self):
+        counter = RepetitionCounter(dt=0.05)
+        rng = np.random.default_rng(2)
+        distances = counter.synthesize_exercise(0, 2.0, 0.25, rng)
+        assert counter.count_from_distances(distances, rng) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RepetitionCounter(dt=0.0)
+        counter = RepetitionCounter()
+        with pytest.raises(ValueError):
+            counter.synthesize_exercise(-1, 2.0, 0.2, RNG)
+
+
+class TestPostureClassifier:
+    def test_templates_ordered_sensibly(self):
+        standing = POSTURE_TAG_HEIGHTS[Posture.STANDING]
+        lying = POSTURE_TAG_HEIGHTS[Posture.LYING]
+        assert standing[0] > lying[0]  # head tag height
+        assert all(a >= b for a, b in zip(standing, standing[1:]))
+
+    def test_distance_geometry(self):
+        clf = PostureClassifier(reader_height_m=2.0, horizontal_offset_m=2.5)
+        # A tag at reader height: distance = horizontal offset.
+        assert clf.tag_distance(2.0) == pytest.approx(2.5)
+        assert clf.tag_distance(0.0) > clf.tag_distance(2.0)
+
+    def test_height_recovery(self):
+        clf = PostureClassifier()
+        rng = np.random.default_rng(3)
+        true = POSTURE_TAG_HEIGHTS[Posture.STANDING]
+        measured = clf.measure_heights(true, rng, distance_noise_m=0.005)
+        # Near-vertical incidence amplifies distance noise into height
+        # error; the templates are ~0.4 m apart, so 0.25 m suffices.
+        np.testing.assert_allclose(measured, true, atol=0.25)
+
+    @pytest.mark.parametrize("posture", list(Posture))
+    def test_classification_roundtrip(self, posture):
+        clf = PostureClassifier()
+        rng = np.random.default_rng(int(posture) + 10)
+        hits = sum(
+            clf.observe_and_classify(posture, rng) == posture
+            for __ in range(20)
+        )
+        assert hits >= 18
+
+    def test_lying_detection_is_fall_signal(self):
+        """The scenario-(i) hook: lying posture flags a fall."""
+        clf = PostureClassifier()
+        rng = np.random.default_rng(4)
+        result = clf.observe_and_classify(Posture.LYING, rng)
+        assert result is Posture.LYING
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            PostureClassifier().classify([1.0, 2.0])

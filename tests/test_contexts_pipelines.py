@@ -1,0 +1,146 @@
+"""Integration tests for the MicroDeep and CSI pipelines (fast
+configurations of experiments E1-E3)."""
+
+import numpy as np
+import pytest
+
+from repro.contexts import (
+    CsiLocalizationPipeline,
+    DiscomfortPipeline,
+    FallDetectionPipeline,
+    build_fall_cnn,
+    build_lounge_cnn,
+)
+from repro.contexts.fall import FEASIBLE_PARAMS, OPTIMAL_PARAMS
+from repro.datasets import (
+    IrGaitConfig,
+    LoungeDatasetConfig,
+    generate_ir_gait_episodes,
+    generate_lounge_dataset,
+    windows_from_episodes,
+)
+from repro.sensing import CsiLocalizationScenario, default_patterns
+
+
+class TestBuilders:
+    def test_fall_cnn_structure(self):
+        """The paper's CNN: one conv, one pool, two FC layers."""
+        model = build_fall_cnn()
+        names = [type(l).__name__ for l in model.layers]
+        assert names.count("Conv2D") == 1
+        assert names.count("MaxPool2D") == 1
+        assert names.count("Dense") == 2
+        out = model.forward(np.zeros((2, 10, 8, 8)))
+        assert out.shape == (2, 2)
+
+    def test_lounge_cnn_accepts_grid(self):
+        model = build_lounge_cnn()
+        out = model.forward(np.zeros((2, 1, 17, 25)))
+        assert out.shape == (2, 2)
+
+    def test_param_presets_ordered(self):
+        assert OPTIMAL_PARAMS["filters"] > FEASIBLE_PARAMS["filters"]
+        assert OPTIMAL_PARAMS["hidden"] > FEASIBLE_PARAMS["hidden"]
+
+
+@pytest.fixture(scope="module")
+def fall_data():
+    rng = np.random.default_rng(0)
+    eps = generate_ir_gait_episodes(IrGaitConfig(n_episodes=24), rng)
+    x, y, ei = windows_from_episodes(eps, window=10, stride=6)
+    # Stratified episode-level split: hold out episodes of both classes.
+    falls = [i for i, ep in enumerate(eps) if ep.label == 1]
+    walks = [i for i, ep in enumerate(eps) if ep.label == 0]
+    held_out = falls[:3] + walks[:3]
+    test = np.isin(ei, held_out)
+    return x[~test], y[~test], x[test], y[test]
+
+
+class TestFallPipeline:
+    def test_end_to_end_beats_chance(self, fall_data):
+        xtr, ytr, xte, yte = fall_data
+        pipe = FallDetectionPipeline(node_grid=(4, 4))
+        result = pipe.run(
+            xtr, ytr, xte, yte, np.random.default_rng(1),
+            params=FEASIBLE_PARAMS, epochs=12, lr=3e-3,
+        )
+        assert result.accuracy > 0.7
+        assert result.max_comm_cost > 0
+        assert len(result.node_costs()) == 16
+
+    def test_heuristic_cheaper_than_centralized(self, fall_data):
+        """The Fig. 10 comparison at test scale."""
+        xtr, ytr, xte, yte = fall_data
+        pipe = FallDetectionPipeline(node_grid=(4, 4))
+        heur = pipe.run(
+            xtr[:50], ytr[:50], xte[:20], yte[:20], np.random.default_rng(2),
+            params=FEASIBLE_PARAMS, assignment="heuristic", epochs=1,
+        )
+        cent = pipe.run(
+            xtr[:50], ytr[:50], xte[:20], yte[:20], np.random.default_rng(2),
+            params=OPTIMAL_PARAMS, assignment="centralized", epochs=1,
+        )
+        assert heur.max_comm_cost < cent.max_comm_cost
+
+    def test_invalid_assignment(self, fall_data):
+        xtr, ytr, xte, yte = fall_data
+        pipe = FallDetectionPipeline()
+        with pytest.raises(ValueError):
+            pipe.run(xtr, ytr, xte, yte, np.random.default_rng(0),
+                     assignment="quantum")
+
+
+class TestDiscomfortPipeline:
+    def test_end_to_end(self):
+        rng = np.random.default_rng(3)
+        x, y = generate_lounge_dataset(LoungeDatasetConfig(n_samples=500), rng)
+        order = np.random.default_rng(4).permutation(len(x))
+        x, y = x[order], y[order]
+        pipe = DiscomfortPipeline(node_grid=(5, 10))
+        result = pipe.run(
+            x[:350], y[:350], x[350:], y[350:], np.random.default_rng(5),
+            assignment="heuristic", update_mode="local", epochs=8,
+        )
+        assert result.accuracy > 0.7
+        assert result.max_comm_cost > 0
+
+    def test_peak_ratio_below_half(self):
+        """MicroDeep's peak traffic is a small fraction of the
+        centralize-everything peak (paper: 13 %)."""
+        rng = np.random.default_rng(6)
+        x, y = generate_lounge_dataset(LoungeDatasetConfig(n_samples=120), rng)
+        pipe = DiscomfortPipeline(node_grid=(5, 10))
+        heur = pipe.run(x[:80], y[:80], x[80:], y[80:],
+                        np.random.default_rng(7), assignment="heuristic",
+                        epochs=1)
+        cent = pipe.run(x[:80], y[:80], x[80:], y[80:],
+                        np.random.default_rng(7), assignment="centralized",
+                        epochs=1)
+        assert heur.max_comm_cost < 0.5 * cent.max_comm_cost
+
+
+class TestCsiPipeline:
+    def test_learn_infer_roundtrip(self):
+        rng = np.random.default_rng(8)
+        pipe = CsiLocalizationPipeline()
+        pattern = default_patterns()[3]  # stand-aligned: cheap frames
+        result = pipe.evaluate_pattern(pattern, 6, rng, window=4)
+        assert result.accuracy > 0.5
+        assert result.confusion.shape == (7, 7)
+        assert result.confusion.sum() > 0
+
+    def test_infer_before_learn_raises(self):
+        pipe = CsiLocalizationPipeline()
+        with pytest.raises(RuntimeError):
+            pipe.infer(np.zeros((1, 624)))
+
+    def test_evaluate_all_patterns_keys(self):
+        rng = np.random.default_rng(9)
+        pipe = CsiLocalizationPipeline(
+            scenario=CsiLocalizationScenario(
+                positions=[(1.0, 1.0), (4.0, 3.0), (2.0, 4.0)]
+            )
+        )
+        patterns = default_patterns()[:2]
+        results = pipe.evaluate_all_patterns(patterns, 4, rng, window=3)
+        assert set(results) == {p.name for p in patterns}

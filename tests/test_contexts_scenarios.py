@@ -1,0 +1,219 @@
+"""Tests for the intrusion, slope, and HVAC scenarios (iii, v, vi)."""
+
+import numpy as np
+import pytest
+
+from repro.contexts import (
+    AutonomousHvacController,
+    ComfortPolicy,
+    EntityKind,
+    HvacZone,
+    IntrusionDetector,
+    LoungeThermalModel,
+    PerimeterSimulator,
+    SlopeMonitor,
+    SlopeSimulator,
+    crossing_direction,
+    crossing_features,
+    default_lounge,
+    run_closed_loop,
+)
+
+RNG = np.random.default_rng(71)
+
+
+class TestPerimeterSimulator:
+    def test_event_shapes(self):
+        sim = PerimeterSimulator()
+        event = sim.render_crossing(EntityKind.HUMAN, RNG)
+        assert event.frames.shape == (40, 8, 8)
+        assert event.direction in (-1, 1)
+
+    def test_balanced_dataset(self):
+        sim = PerimeterSimulator()
+        events = sim.generate_dataset(4, RNG)
+        kinds = [e.kind for e in events]
+        assert len(events) == 12
+        for kind in EntityKind:
+            assert kinds.count(kind) == 4
+
+    def test_human_taller_than_boar(self):
+        """Centroid height separates the classes (lower row index =
+        higher above ground)."""
+        sim = PerimeterSimulator(noise=0.0)
+        rng = np.random.default_rng(1)
+        human = crossing_features(sim.render_crossing(EntityKind.HUMAN, rng))
+        boar = crossing_features(sim.render_crossing(EntityKind.BOAR, rng))
+        assert human[0] < boar[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerimeterSimulator(grid_rows=2)
+        with pytest.raises(ValueError):
+            PerimeterSimulator().generate_dataset(0, RNG)
+
+
+class TestIntrusionDetector:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        sim = PerimeterSimulator()
+        train = sim.generate_dataset(15, np.random.default_rng(2))
+        test = sim.generate_dataset(6, np.random.default_rng(3))
+        detector = IntrusionDetector().fit(train)
+        return detector, test
+
+    def test_classification_beats_chance(self, fitted):
+        detector, test = fitted
+        result = detector.evaluate(test)
+        assert result.kind_accuracy > 0.7
+        assert result.confusion.shape == (3, 3)
+
+    def test_direction_estimation(self, fitted):
+        __, test = fitted
+        hits = sum(crossing_direction(e) == e.direction for e in test)
+        assert hits / len(test) > 0.9
+
+    def test_requires_fit(self):
+        sim = PerimeterSimulator()
+        events = sim.generate_dataset(1, RNG)
+        with pytest.raises(RuntimeError):
+            IntrusionDetector().classify(events)
+        with pytest.raises(ValueError):
+            IntrusionDetector().fit([])
+
+
+class TestSlopeSimulator:
+    def test_wind_raises_closures(self):
+        sim = SlopeSimulator()
+        calm = sim.observe(2.0, np.random.default_rng(4))
+        storm = sim.observe(25.0, np.random.default_rng(4))
+        assert (
+            np.mean(list(storm.closures.values()))
+            > np.mean(list(calm.closures.values()))
+        )
+
+    def test_event_marks_patch(self):
+        sim = SlopeSimulator()
+        window = sim.observe(5.0, RNG, event_center=(1, 2))
+        assert window.has_event
+        assert len(window.event_nodes) >= 1
+        in_patch = [window.closures[n] for n in window.event_nodes]
+        outside = [
+            c for n, c in window.closures.items()
+            if n not in set(window.event_nodes)
+        ]
+        assert np.mean(in_patch) > np.mean(outside)
+
+    def test_validation(self):
+        sim = SlopeSimulator()
+        with pytest.raises(ValueError):
+            sim.observe(-1.0, RNG)
+        with pytest.raises(ValueError):
+            SlopeSimulator(samples_per_window=2)
+
+
+class TestSlopeMonitor:
+    @pytest.fixture(scope="class")
+    def calibrated(self):
+        sim = SlopeSimulator()
+        rng = np.random.default_rng(5)
+        calibration = [
+            sim.observe(wind, rng)
+            for wind in [0.0, 5.0, 10.0, 15.0, 20.0, 25.0]
+            for __ in range(3)
+        ]
+        monitor = SlopeMonitor(k_of_n=3).calibrate_wind(calibration)
+        return sim, monitor
+
+    def test_detects_events_rejects_quiet(self, calibrated):
+        sim, monitor = calibrated
+        rng = np.random.default_rng(6)
+        windows = []
+        for i in range(10):
+            windows.append(sim.observe(8.0, rng, event_center=(1, 3)))
+            windows.append(sim.observe(8.0, rng))
+        detection, false_alarm, wind_mae = monitor.evaluate(windows)
+        assert detection > 0.9
+        assert false_alarm < 0.2
+
+    def test_wind_estimate_tracks_truth(self, calibrated):
+        sim, monitor = calibrated
+        rng = np.random.default_rng(7)
+        errors = []
+        for wind in [3.0, 12.0, 22.0]:
+            window = sim.observe(wind, rng)
+            result = monitor.assess(window)
+            errors.append(abs(result.wind_estimate_mps - wind))
+        assert np.mean(errors) < 5.0
+
+    def test_storm_is_not_an_event(self, calibrated):
+        """Network-wide shaking (a storm) must not raise the landslide
+        alarm — only a localized patch does."""
+        sim, monitor = calibrated
+        rng = np.random.default_rng(10)
+        storm_alarms = [
+            monitor.assess(sim.observe(30.0, rng)).alarm for __ in range(5)
+        ]
+        assert not any(storm_alarms)
+
+    def test_requires_calibration(self):
+        with pytest.raises(RuntimeError):
+            SlopeMonitor().assess(
+                SlopeSimulator().observe(5.0, RNG)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlopeMonitor(node_alarm_closure=1.5)
+        with pytest.raises(ValueError):
+            SlopeMonitor(k_of_n=0)
+        with pytest.raises(ValueError):
+            SlopeMonitor().calibrate_wind([])
+
+
+class TestHvac:
+    def test_zone_influence_peaks_at_center(self):
+        zone = HvacZone(center=(5.0, 5.0))
+        field = zone.influence(10, 10)
+        assert field[5, 5] == field.max()
+
+    def test_setpoint_clamped(self):
+        zone = HvacZone(center=(0, 0), min_setpoint_c=18.0, max_setpoint_c=28.0)
+        zone.command(5.0)
+        assert zone.setpoint_c == 18.0
+        zone.command(40.0)
+        assert zone.setpoint_c == 28.0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ComfortPolicy(low_c=30.0, high_c=20.0)
+        with pytest.raises(ValueError):
+            AutonomousHvacController(ComfortPolicy(), gain=0.0)
+
+    def test_controller_reduces_discomfort(self):
+        """The closed loop beats the uncontrolled lounge on a hot day
+        — scenario (vi)'s point."""
+        rng_a = np.random.default_rng(8)
+        rng_b = np.random.default_rng(8)
+        policy = ComfortPolicy()
+        uncontrolled = run_closed_loop(
+            default_lounge(ambient_c=31.0), None, n_steps=40, rng=rng_a
+        )
+        controller = AutonomousHvacController(policy, gain=0.8)
+        controlled = run_closed_loop(
+            default_lounge(ambient_c=31.0), controller, n_steps=40, rng=rng_b
+        )
+        assert controlled.final_discomfort < uncontrolled.final_discomfort
+        assert controlled.mean_discomfort < uncontrolled.mean_discomfort
+
+    def test_setpoints_move_down_when_hot(self):
+        rng = np.random.default_rng(9)
+        controller = AutonomousHvacController(ComfortPolicy(), gain=0.8)
+        model = default_lounge(ambient_c=33.0)
+        result = run_closed_loop(model, controller, n_steps=30, rng=rng)
+        for trace in result.setpoint_traces.values():
+            assert trace[-1] < trace[0]
+
+    def test_run_validation(self):
+        with pytest.raises(ValueError):
+            run_closed_loop(default_lounge(), None, 0, RNG)

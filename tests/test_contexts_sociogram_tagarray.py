@@ -1,0 +1,148 @@
+"""Tests for the sociogram builder and tag-array sensing."""
+
+import numpy as np
+import pytest
+
+from repro.contexts import (
+    SociogramBuilder,
+    TagArraySensor,
+    estimate_periodicity,
+    simulate_playground_contacts,
+)
+
+RNG = np.random.default_rng(47)
+
+
+class TestPlaygroundSimulation:
+    def test_log_structure(self):
+        log = simulate_playground_contacts(12, 4, 30, RNG)
+        assert log.n_children == 12
+        assert log.records
+        for slot, area, present in log.records:
+            assert 0 <= area < 4
+            assert present <= set(range(12))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_playground_contacts(1, 4, 10, RNG)
+        with pytest.raises(ValueError):
+            simulate_playground_contacts(5, 4, 10, RNG, isolated_children=5)
+
+    def test_groups_partition_children(self):
+        log = simulate_playground_contacts(12, 4, 30, RNG, isolated_children=2)
+        all_children = set().union(*log.true_groups)
+        assert all_children == set(range(12))
+
+
+class TestSociogramBuilder:
+    def _log(self, seed=0):
+        return simulate_playground_contacts(
+            15, 5, 60, np.random.default_rng(seed),
+            n_groups=3, friend_affinity=0.85, isolated_children=2,
+        )
+
+    def test_graph_nodes(self):
+        log = self._log()
+        g = SociogramBuilder().build(log)
+        assert set(g.nodes) == set(range(15))
+
+    def test_friends_more_connected_than_strangers(self):
+        log = self._log(1)
+        g = SociogramBuilder().build(log)
+        same, cross = [], []
+        groups = log.true_groups[:-1]  # exclude loners
+        for gi, group in enumerate(groups):
+            members = sorted(group)
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    same.append(g[a][b]["weight"] if g.has_edge(a, b) else 0)
+            for other in groups[gi + 1 :]:
+                for a in group:
+                    for b in other:
+                        cross.append(g[a][b]["weight"] if g.has_edge(a, b) else 0)
+        assert np.mean(same) > 2 * np.mean(cross)
+
+    def test_communities_recover_groups(self):
+        log = self._log(2)
+        builder = SociogramBuilder(min_weight=3)
+        g = builder.build(log)
+        communities = builder.friendship_groups(g)
+        assert communities
+        # The largest true group should be mostly inside one community.
+        big = max(log.true_groups[:-1], key=len)
+        best_overlap = max(len(big & c) / len(big) for c in communities)
+        assert best_overlap > 0.6
+
+    def test_isolated_children_flagged(self):
+        log = self._log(3)
+        builder = SociogramBuilder(min_weight=3)
+        g = builder.build(log)
+        loners = log.true_groups[-1]
+        flagged = builder.isolated_children(g, percentile=15.0)
+        assert loners & flagged
+
+    def test_interaction_matrix_symmetric(self):
+        log = self._log(4)
+        builder = SociogramBuilder()
+        g = builder.build(log)
+        mat = builder.interaction_matrix(g, log.n_children)
+        np.testing.assert_array_equal(mat, mat.T)
+        assert np.all(np.diag(mat) == 0)
+
+    def test_min_weight_validation(self):
+        with pytest.raises(ValueError):
+            SociogramBuilder(min_weight=0)
+
+
+class TestTagArray:
+    def test_phase_wraps(self):
+        sensor = TagArraySensor()
+        lam = sensor.wavelength_m
+        p0 = sensor.phase_of_distance(1.0)
+        p1 = sensor.phase_of_distance(1.0 + lam / 2)  # round trip = 1 lambda
+        assert p1 == pytest.approx(p0, abs=1e-9)
+
+    def test_displacement_recovery(self):
+        """Slow motion below lambda/4 per step is recovered."""
+        sensor = TagArraySensor(phase_noise_rad=0.0)
+        rng = np.random.default_rng(0)
+        true = 1.0 + np.linspace(0.0, 0.05, 60)  # 5 cm drift
+        readings = [sensor.read(0, d, i * 0.1, rng) for i, d in enumerate(true)]
+        est = sensor.displacement_series(readings)
+        np.testing.assert_allclose(est, true - true[0], atol=1e-6)
+
+    def test_displacement_needs_two(self):
+        sensor = TagArraySensor()
+        reading = sensor.read(0, 1.0, 0.0, RNG)
+        with pytest.raises(ValueError):
+            sensor.displacement_series([reading])
+
+    def test_track_tags_shapes(self):
+        sensor = TagArraySensor()
+        traj = {0: np.linspace(1.0, 1.02, 30), 1: np.full(30, 2.0)}
+        tracks = sensor.track_tags(traj, dt=0.05, rng=RNG)
+        assert set(tracks) == {0, 1}
+        assert len(tracks[0]) == 30
+
+    def test_breathing_rate_extraction(self):
+        """A 0.3 Hz chest motion is recovered from tag phases."""
+        sensor = TagArraySensor(phase_noise_rad=0.02)
+        rng = np.random.default_rng(1)
+        dt = 0.1
+        t = np.arange(300) * dt
+        breathing = 1.0 + 0.006 * np.sin(2 * np.pi * 0.3 * t)  # 6 mm
+        readings = [sensor.read(0, d, ti, rng) for d, ti in zip(breathing, t)]
+        disp = sensor.displacement_series(readings)
+        freq, power = estimate_periodicity(disp, dt, min_hz=0.1, max_hz=2.0)
+        assert freq == pytest.approx(0.3, abs=0.05)
+        assert power > 0.3
+
+    def test_periodicity_validation(self):
+        with pytest.raises(ValueError):
+            estimate_periodicity(np.zeros(4), 0.1)
+        with pytest.raises(ValueError):
+            estimate_periodicity(np.zeros(100), -1.0)
+
+    def test_flat_series_no_peak(self):
+        freq, power = estimate_periodicity(np.zeros(64), 0.1)
+        assert freq == 0.0 and power == 0.0

@@ -1,0 +1,117 @@
+"""Tests for the information-collection planner (§III.B)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CollectionPlanner, Obstacle, PlanningError
+from repro.wsn import GridTopology, SensorNode, Topology
+
+
+class TestObstacle:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Obstacle(1.0, 1.0, 1.0, 2.0)
+
+    def test_blocks_crossing_segment(self):
+        wall = Obstacle(2.0, -1.0, 3.0, 5.0)
+        assert wall.blocks((0.0, 2.0), (5.0, 2.0))
+
+    def test_misses_parallel_segment(self):
+        wall = Obstacle(2.0, 0.0, 3.0, 5.0)
+        assert not wall.blocks((0.0, 8.0), (5.0, 8.0))
+
+    def test_endpoint_inside_blocks(self):
+        box = Obstacle(0.0, 0.0, 2.0, 2.0)
+        assert box.blocks((1.0, 1.0), (5.0, 5.0))
+
+    def test_same_side_segments_clear(self):
+        box = Obstacle(2.0, 2.0, 3.0, 3.0)
+        assert not box.blocks((0.0, 0.0), (1.0, 1.0))
+
+
+class TestPlanner:
+    def _planner(self, rows=3, cols=4, **kw):
+        return CollectionPlanner(GridTopology(rows, cols), **kw)
+
+    def test_every_node_scheduled(self):
+        planner = self._planner()
+        plan = planner.plan(sink=0, cycle_s=1.0)
+        scheduled = {s.node for s in plan.schedule}
+        assert scheduled == set(range(12)) - {0}
+        assert plan.unreachable == []
+
+    def test_tree_reaches_sink(self):
+        plan = self._planner().plan(sink=5, cycle_s=1.0)
+        for node in plan.parents:
+            assert plan.depth_of(node) < 12
+
+    def test_convergecast_order(self):
+        """A node transmits no earlier than any of its children."""
+        plan = self._planner(4, 4).plan(sink=0, cycle_s=1.0)
+        slot_of = {s.node: s.slot for s in plan.schedule}
+        for child, parent in plan.parents.items():
+            if parent is None or parent == plan.sink:
+                continue
+            assert slot_of[parent] > slot_of[child], (child, parent)
+
+    def test_channel_reuse_no_slot_conflicts(self):
+        """No two transmissions in one slot share a channel or a
+        node."""
+        plan = self._planner(4, 5, max_channels=3).plan(sink=0, cycle_s=1.0)
+        by_slot = {}
+        for s in plan.schedule:
+            by_slot.setdefault(s.slot, []).append(s)
+        for slot, entries in by_slot.items():
+            channels = [e.channel for e in entries]
+            assert len(channels) == len(set(channels)), f"slot {slot}"
+            actors = [e.node for e in entries] + [e.parent for e in entries]
+            assert len(actors) == len(set(actors)), f"slot {slot}"
+
+    def test_feasibility_flag(self):
+        planner = self._planner(slot_duration_s=0.01)
+        fast = planner.plan(sink=0, cycle_s=10.0)
+        assert fast.feasible
+        slow = planner.plan(sink=0, cycle_s=0.001)
+        assert not slow.feasible
+
+    def test_retry_slots_extend_frame(self):
+        planner = self._planner()
+        lean = planner.plan(sink=0, cycle_s=1.0, retry_slots=0)
+        padded = planner.plan(sink=0, cycle_s=1.0, retry_slots=5)
+        assert padded.frame_duration_s > lean.frame_duration_s
+
+    def test_obstacle_changes_routing(self):
+        topo = GridTopology(1, 5, spacing=1.0, comm_range=1.2)
+        # A wall between nodes 1 and 2 disconnects the right half.
+        wall = Obstacle(1.4, -1.0, 1.6, 1.0)
+        planner = CollectionPlanner(topo, obstacles=[wall])
+        plan = planner.plan(sink=0, cycle_s=1.0)
+        assert set(plan.unreachable) == {2, 3, 4}
+
+    def test_more_channels_shorter_frame(self):
+        lean = self._planner(4, 6, max_channels=1).plan(0, 1.0)
+        multi = self._planner(4, 6, max_channels=4).plan(0, 1.0)
+        assert multi.frame_duration_s <= lean.frame_duration_s
+
+    def test_fastest_feasible_cycle(self):
+        planner = self._planner()
+        fastest = planner.fastest_feasible_cycle(sink=0)
+        plan = planner.plan(sink=0, cycle_s=fastest)
+        assert plan.feasible
+
+    def test_errors(self):
+        planner = self._planner()
+        with pytest.raises(PlanningError):
+            planner.plan(sink=999, cycle_s=1.0)
+        with pytest.raises(PlanningError):
+            planner.plan(sink=0, cycle_s=-1.0)
+        with pytest.raises(ValueError):
+            CollectionPlanner(GridTopology(2, 2), slot_duration_s=0.0)
+        with pytest.raises(ValueError):
+            CollectionPlanner(GridTopology(2, 2), max_channels=0)
+
+    def test_dead_sink_rejected(self):
+        topo = GridTopology(2, 2)
+        topo.node(0).fail()
+        with pytest.raises(PlanningError):
+            CollectionPlanner(topo).plan(sink=0, cycle_s=1.0)

@@ -1,0 +1,153 @@
+"""Tests for unit-graph extraction and assignment strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    UnitGraph,
+    centralized_assignment,
+    grid_correspondence_assignment,
+    random_assignment,
+    round_robin_assignment,
+)
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+from repro.wsn import GridTopology
+
+RNG = np.random.default_rng(3)
+
+
+def small_model(input_shape=(1, 8, 8)):
+    model = Sequential([
+        Conv2D(4, 3), ReLU(), MaxPool2D(2), Flatten(), Dense(8), ReLU(), Dense(2),
+    ])
+    model.build(input_shape, np.random.default_rng(0))
+    return model
+
+
+class TestUnitGraph:
+    def test_layer_kinds(self):
+        graph = UnitGraph(small_model())
+        kinds = [l.kind for l in graph.layers]
+        assert kinds == [
+            "spatial", "spatial", "spatial", "flatten", "flat", "flat", "flat",
+        ]
+
+    def test_grids_follow_shapes(self):
+        graph = UnitGraph(small_model())
+        conv = graph.layers[0]
+        assert conv.in_hw == (8, 8)
+        assert conv.out_hw == (6, 6)
+        assert conv.in_values == 1
+        assert conv.out_values == 4
+        pool = graph.layers[2]
+        assert pool.out_hw == (3, 3)
+
+    def test_flat_layer_units(self):
+        graph = UnitGraph(small_model())
+        dense = graph.layers[4]
+        assert dense.n_units == 8
+        assert dense.in_units == 4 * 3 * 3
+
+    def test_total_units(self):
+        graph = UnitGraph(small_model())
+        # conv 36 + relu 36 + pool 9 + dense 8 + relu 8 + dense 2
+        assert graph.total_units() == 36 + 36 + 9 + 8 + 8 + 2
+
+    def test_requires_built_model(self):
+        model = Sequential([Conv2D(2, 3)])
+        with pytest.raises(ValueError):
+            UnitGraph(model)
+
+    def test_requires_spatial_input(self):
+        model = Sequential([Dense(4)])
+        model.build((10,), RNG)
+        with pytest.raises(ValueError):
+            UnitGraph(model)
+
+    def test_spatial_deps_populated(self):
+        graph = UnitGraph(small_model())
+        conv = graph.layers[0]
+        assert conv.deps[(0, 0)] == [
+            (y, x) for y in range(3) for x in range(3)
+        ]
+
+
+class TestAssignments:
+    def _setup(self):
+        model = small_model()
+        graph = UnitGraph(model)
+        topo = GridTopology(4, 4)
+        return graph, topo
+
+    def test_all_units_assigned_every_strategy(self):
+        graph, topo = self._setup()
+        for placement in [
+            grid_correspondence_assignment(graph, topo),
+            centralized_assignment(graph, topo),
+            round_robin_assignment(graph, topo),
+            random_assignment(graph, topo, RNG),
+        ]:
+            assert len(placement.unit_node) == graph.total_units()
+            assert all(n in topo.nodes for n in placement.unit_node.values())
+
+    def test_input_cells_all_owned(self):
+        graph, topo = self._setup()
+        placement = grid_correspondence_assignment(graph, topo)
+        assert len(placement.input_node) == 64
+        corner = placement.input_node[(0, 0)]
+        assert corner == topo.node_at(0, 0).node_id
+        far = placement.input_node[(7, 7)]
+        assert far == topo.node_at(3, 3).node_id
+
+    def test_centralized_puts_units_on_sink(self):
+        graph, topo = self._setup()
+        placement = centralized_assignment(graph, topo, sink=5)
+        assert set(placement.unit_node.values()) == {5}
+
+    def test_centralized_bad_sink(self):
+        graph, topo = self._setup()
+        with pytest.raises(KeyError):
+            centralized_assignment(graph, topo, sink=999)
+
+    def test_grid_correspondence_balances_units(self):
+        graph, topo = self._setup()
+        placement = grid_correspondence_assignment(graph, topo)
+        counts = placement.units_per_node()
+        # Every node hosts something and the spread is moderate.
+        assert len(counts) == len(topo)
+        assert max(counts.values()) <= 4 * (graph.total_units() // len(topo) + 1)
+
+    def test_round_robin_exactly_balances(self):
+        graph, topo = self._setup()
+        placement = round_robin_assignment(graph, topo)
+        counts = placement.units_per_node()
+        # Elementwise co-location perturbs pure round-robin, but the
+        # non-elementwise units are dealt evenly.
+        assert max(counts.values()) - min(counts.values()) <= graph.total_units() // 2
+
+    def test_elementwise_colocated_with_producer(self):
+        graph, topo = self._setup()
+        for placement in [
+            grid_correspondence_assignment(graph, topo),
+            round_robin_assignment(graph, topo),
+            random_assignment(graph, topo, RNG),
+        ]:
+            # spatial ReLU (layer 1) follows conv (layer 0)
+            for pos in graph.layers[1].output_positions():
+                assert placement.node_of(1, pos) == placement.node_of(0, pos)
+            # flat ReLU (layer 5) follows dense (layer 4)
+            for unit in graph.layers[5].output_positions():
+                assert placement.node_of(5, unit) == placement.node_of(4, unit)
+
+    def test_spatial_units_near_their_coordinates(self):
+        graph, topo = self._setup()
+        placement = grid_correspondence_assignment(graph, topo)
+        conv = graph.layers[0]  # 6x6 grid onto 4x4 nodes
+        assert placement.node_of(0, (0, 0)) == topo.node_at(0, 0).node_id
+        assert placement.node_of(0, (5, 5)) == topo.node_at(3, 3).node_id
+
+    def test_random_assignment_deterministic_with_seed(self):
+        graph, topo = self._setup()
+        p1 = random_assignment(graph, topo, np.random.default_rng(7))
+        p2 = random_assignment(graph, topo, np.random.default_rng(7))
+        assert p1.unit_node == p2.unit_node

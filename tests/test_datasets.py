@@ -1,0 +1,136 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    IrGaitConfig,
+    LoungeDatasetConfig,
+    generate_ir_gait_episodes,
+    generate_lounge_dataset,
+    windows_from_episodes,
+)
+
+RNG = np.random.default_rng(5)
+
+
+class TestLounge:
+    def test_paper_dimensions(self):
+        cfg = LoungeDatasetConfig(n_samples=50)
+        fields, labels = generate_lounge_dataset(cfg, RNG)
+        assert fields.shape == (50, 1, 17, 25)
+        assert labels.shape == (50,)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_default_matches_paper_counts(self):
+        cfg = LoungeDatasetConfig()
+        assert cfg.n_samples == 2961
+        assert (cfg.rows, cfg.cols) == (17, 25)
+
+    def test_temperatures_physical(self):
+        cfg = LoungeDatasetConfig(n_samples=100)
+        fields, __ = generate_lounge_dataset(cfg, RNG)
+        assert fields.min() > 5.0
+        assert fields.max() < 45.0
+
+    def test_both_classes_present(self):
+        cfg = LoungeDatasetConfig(n_samples=400)
+        __, labels = generate_lounge_dataset(cfg, np.random.default_rng(1))
+        assert 0.05 < labels.mean() < 0.95
+
+    def test_seasonal_cooling(self):
+        cfg = LoungeDatasetConfig(n_samples=2000)
+        fields, __ = generate_lounge_dataset(cfg, np.random.default_rng(2))
+        first = fields[:200].mean()
+        last = fields[-200:].mean()
+        assert last < first - 1.0
+
+    def test_deterministic_given_seed(self):
+        cfg = LoungeDatasetConfig(n_samples=20)
+        f1, l1 = generate_lounge_dataset(cfg, np.random.default_rng(9))
+        f2, l2 = generate_lounge_dataset(cfg, np.random.default_rng(9))
+        np.testing.assert_array_equal(f1, f2)
+        np.testing.assert_array_equal(l1, l2)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoungeDatasetConfig(rows=0)
+        with pytest.raises(ValueError):
+            LoungeDatasetConfig(comfort_low_c=30.0, comfort_high_c=20.0)
+
+
+class TestIrGait:
+    def test_paper_dimensions(self):
+        cfg = IrGaitConfig()
+        assert cfg.n_episodes == 55
+        assert cfg.n_frames == 66
+        assert cfg.n_subjects == 5
+        assert cfg.window == 10
+
+    def test_episode_shapes_and_labels(self):
+        cfg = IrGaitConfig(n_episodes=12)
+        eps = generate_ir_gait_episodes(cfg, RNG)
+        assert len(eps) == 12
+        for ep in eps:
+            assert ep.frames.shape == (66, 8, 8)
+            assert ep.label in (0, 1)
+            assert 0 <= ep.subject < 5
+        labels = [ep.label for ep in eps]
+        assert 0 < sum(labels) < 12
+
+    def test_fall_lowers_centroid(self):
+        cfg = IrGaitConfig(n_episodes=20, noise=0.0)
+        eps = generate_ir_gait_episodes(cfg, np.random.default_rng(3))
+        rows = np.arange(cfg.grid_rows)
+
+        def centroid_y(frame):
+            total = frame.sum()
+            return (frame.sum(axis=1) * rows).sum() / total if total > 0 else 0.0
+
+        for ep in eps:
+            start = centroid_y(ep.frames[2])
+            end = centroid_y(ep.frames[-1])
+            if ep.label == 1:
+                assert end > start + 1.0  # body ends near the floor
+            else:
+                assert abs(end - start) < 1.5
+
+    def test_windows_count_and_shapes(self):
+        cfg = IrGaitConfig(n_episodes=5)
+        eps = generate_ir_gait_episodes(cfg, RNG)
+        x, y, ei = windows_from_episodes(eps, window=10, stride=1)
+        per_episode = 66 - 10 + 1
+        assert x.shape == (5 * per_episode, 10, 8, 8)
+        assert len(y) == len(ei) == len(x)
+
+    def test_jitter_augmentation_multiplies(self):
+        cfg = IrGaitConfig(n_episodes=3)
+        eps = generate_ir_gait_episodes(cfg, RNG)
+        x1, __, __ = windows_from_episodes(eps, window=10, stride=3)
+        x2, __, __ = windows_from_episodes(
+            eps, window=10, stride=3, rng=RNG, jitter_copies=2
+        )
+        assert len(x2) == 2 * len(x1)
+
+    def test_paper_scale_window_count(self):
+        """55 episodes x 57 windows x 2 copies ~ 6,270, the paper's
+        6,610 order of magnitude."""
+        cfg = IrGaitConfig()
+        eps = generate_ir_gait_episodes(cfg, np.random.default_rng(0))
+        x, __, __ = windows_from_episodes(
+            eps, window=10, stride=1, rng=np.random.default_rng(0), jitter_copies=2
+        )
+        assert 5500 <= len(x) <= 7500
+
+    def test_windows_validation(self):
+        eps = generate_ir_gait_episodes(IrGaitConfig(n_episodes=2), RNG)
+        with pytest.raises(ValueError):
+            windows_from_episodes(eps, window=0)
+        with pytest.raises(ValueError):
+            windows_from_episodes(eps, jitter_copies=2)  # rng missing
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            IrGaitConfig(window=100)
+        with pytest.raises(ValueError):
+            IrGaitConfig(fall_fraction=1.5)

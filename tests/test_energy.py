@@ -1,0 +1,230 @@
+"""Tests for the energy-harvesting substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy import (
+    Capacitor,
+    HarvestingTrace,
+    IntermittentPowerManager,
+    PiecewiseTraceHarvester,
+    RADIO_PROFILES,
+    RadioEnergyModel,
+    RFHarvester,
+    SolarHarvester,
+    TaskSpec,
+    ThermalHarvester,
+    VibrationHarvester,
+    backscatter_vs_active_ratio,
+    diurnal_solar_trace,
+    rf_field_trace,
+)
+
+RNG = np.random.default_rng(7)
+
+
+class TestCapacitor:
+    def test_harvest_and_draw(self):
+        cap = Capacitor(capacity_j=1.0)
+        stored = cap.harvest(0.4)
+        assert stored == 0.4
+        assert cap.draw(0.3)
+        assert cap.energy_j == pytest.approx(0.1)
+
+    def test_overflow_is_wasted(self):
+        cap = Capacitor(capacity_j=1.0, initial_j=0.9)
+        stored = cap.harvest(0.5)
+        assert stored == pytest.approx(0.1)
+        assert cap.total_wasted_j == pytest.approx(0.4)
+        assert cap.full
+
+    def test_draw_fails_atomically(self):
+        cap = Capacitor(capacity_j=1.0, initial_j=0.2)
+        assert not cap.draw(0.3)
+        assert cap.energy_j == pytest.approx(0.2)
+
+    def test_thresholds(self):
+        cap = Capacitor(capacity_j=1.0, turn_on_j=0.5, brown_out_j=0.1)
+        assert not cap.can_turn_on
+        cap.harvest(0.6)
+        assert cap.can_turn_on
+        cap.draw(0.55)
+        assert cap.browned_out
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            Capacitor(capacity_j=1.0, turn_on_j=0.2, brown_out_j=0.5)
+
+    def test_negative_amounts_rejected(self):
+        cap = Capacitor(capacity_j=1.0)
+        with pytest.raises(ValueError):
+            cap.harvest(-1.0)
+        with pytest.raises(ValueError):
+            cap.draw(-1.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.floats(0.0, 0.5)), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=50)
+    def test_energy_conservation(self, ops):
+        """stored + consumed bookkeeping always matches current level."""
+        cap = Capacitor(capacity_j=2.0, initial_j=1.0)
+        for is_harvest, amount in ops:
+            if is_harvest:
+                cap.harvest(amount)
+            else:
+                cap.draw(amount)
+        expected = 1.0 + cap.total_harvested_j - cap.total_consumed_j
+        assert cap.energy_j == pytest.approx(expected)
+        assert 0.0 <= cap.energy_j <= cap.capacity_j + 1e-12
+
+
+class TestHarvesters:
+    def test_rf_decays_with_distance(self):
+        near = RFHarvester(distance_m=1.0).power_at(0.0)
+        far = RFHarvester(distance_m=10.0).power_at(0.0)
+        assert near > far > 0 or far == 0.0
+        assert near > 0
+
+    def test_rf_sensitivity_floor(self):
+        h = RFHarvester(distance_m=1e6)
+        assert h.power_at(0.0) == 0.0
+
+    def test_rf_order_of_magnitude(self):
+        # ~1 W reader at 3 m should harvest in the uW..tens of uW band.
+        p = RFHarvester(tx_power_w=1.0, distance_m=3.0).power_at(0.0)
+        assert 1e-7 < p < 1e-3
+
+    def test_solar_scales_with_lux(self):
+        dim = SolarHarvester(illuminance=lambda t: 100.0).power_at(0)
+        bright = SolarHarvester(illuminance=lambda t: 1000.0).power_at(0)
+        assert bright == pytest.approx(10 * dim)
+
+    def test_thermal_quadratic(self):
+        h1 = ThermalHarvester(delta_t=lambda t: 1.0).power_at(0)
+        h2 = ThermalHarvester(delta_t=lambda t: 2.0).power_at(0)
+        assert h2 == pytest.approx(4 * h1)
+
+    def test_vibration_peaks_at_resonance(self):
+        h = VibrationHarvester(resonance_hz=50.0)
+        at_res = h.power_at(0)
+        h_off = VibrationHarvester(
+            resonance_hz=50.0, vibration_hz=lambda t: 70.0
+        ).power_at(0)
+        assert at_res > h_off
+
+    def test_piecewise_trace_lookup(self):
+        h = PiecewiseTraceHarvester([0.0, 1.0, 2.0], [1e-6, 2e-6, 3e-6])
+        assert h.power_at(0.5) == 1e-6
+        assert h.power_at(1.0) == 2e-6
+        assert h.power_at(99.0) == 3e-6
+        assert h.power_at(-1.0) == 1e-6
+
+    def test_piecewise_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseTraceHarvester([1.0, 0.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            PiecewiseTraceHarvester([0.0], [-1.0])
+
+    def test_energy_between(self):
+        h = PiecewiseTraceHarvester([0.0], [2e-6])
+        e = h.energy_between(0.0, 10.0)
+        assert e == pytest.approx(2e-5, rel=1e-6)
+
+
+class TestTraces:
+    def test_solar_day_night(self):
+        trace = diurnal_solar_trace(1.0, 600.0, 1e-3, RNG)
+        quarter = len(trace.times) // 4
+        # midnight power zero, midday positive
+        assert trace.powers[0] == 0.0
+        assert trace.powers[2 * quarter] > 0
+        assert trace.total_energy_j() > 0
+
+    def test_rf_trace_never_zero(self):
+        trace = rf_field_trace(100.0, 1.0, 50e-6, RNG)
+        assert np.all(trace.powers > 0)
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            HarvestingTrace(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            HarvestingTrace(np.array([0.0, 1.0]), np.array([1.0, -1.0]))
+
+    def test_mean_power(self):
+        trace = HarvestingTrace(np.array([0.0, 1.0, 2.0]), np.array([1.0, 1.0, 1.0]))
+        assert trace.mean_power_w == pytest.approx(1.0)
+
+
+class TestRadioBudget:
+    def test_paper_10000x_claim(self):
+        ratio = backscatter_vs_active_ratio("wifi")
+        assert 1_000 <= ratio <= 100_000  # "about 1/10,000"
+
+    def test_ble_milliwatt_order(self):
+        assert 1e-3 <= RADIO_PROFILES["ble"].tx_power_w <= 100e-3
+
+    def test_backscatter_10uw(self):
+        assert RADIO_PROFILES["backscatter"].tx_power_w == pytest.approx(10e-6)
+
+    def test_tx_energy_scales_with_bits(self):
+        model = RadioEnergyModel.named("zigbee")
+        assert model.tx_energy_j(2000) == pytest.approx(2 * model.tx_energy_j(1000))
+
+    def test_unknown_radio(self):
+        with pytest.raises(KeyError):
+            RadioEnergyModel.named("carrier-pigeon")
+
+    def test_sustainable_duty_cycle_backscatter_vs_wifi(self):
+        harvested = 20e-6  # 20 uW harvested
+        bsc = RadioEnergyModel.named("backscatter").sustainable_duty_cycle(harvested)
+        wifi = RadioEnergyModel.named("wifi").sustainable_duty_cycle(harvested)
+        assert bsc == 1.0  # backscatter runs continuously
+        assert wifi < 1e-3  # active Wi-Fi effectively cannot
+
+    def test_duty_cycle_power_bounds(self):
+        model = RadioEnergyModel.named("ble")
+        with pytest.raises(ValueError):
+            model.duty_cycle_power_w(0.7, 0.7)
+
+
+class TestIntermittentManager:
+    def _trace(self, power_w, duration=100.0, dt=1.0):
+        n = int(duration / dt) + 1
+        return HarvestingTrace(np.arange(n) * dt, np.full(n, power_w))
+
+    def test_plentiful_energy_runs_all_tasks(self):
+        cap = Capacitor(capacity_j=1e-3, turn_on_j=1e-5, initial_j=1e-4)
+        tasks = [TaskSpec("sense", 1e-7, 0.1), TaskSpec("tx", 1e-7, 0.1)]
+        mgr = IntermittentPowerManager(cap, tasks)
+        report = mgr.run(self._trace(100e-6))
+        assert report.completions("sense") > 100
+        assert report.completions("tx") > 100
+        assert report.brown_outs == 0
+
+    def test_starved_device_stays_off(self):
+        cap = Capacitor(capacity_j=1e-3, turn_on_j=5e-4)
+        tasks = [TaskSpec("tx", 1e-4, 0.1)]
+        mgr = IntermittentPowerManager(cap, tasks)
+        report = mgr.run(self._trace(1e-9, duration=10.0))
+        assert report.completions("tx") == 0
+        assert report.availability < 0.05
+
+    def test_intermittent_cycles(self):
+        # Harvest slowly, spend fast: device should cycle on/off.
+        cap = Capacitor(capacity_j=1e-4, turn_on_j=5e-5, brown_out_j=0.0)
+        tasks = [TaskSpec("burst", 6e-5, 0.5)]
+        mgr = IntermittentPowerManager(cap, tasks)
+        report = mgr.run(self._trace(2e-6, duration=500.0))
+        assert report.brown_outs >= 1
+        assert report.completions("burst") >= 1
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            TaskSpec("bad", -1.0, 1.0)
+        with pytest.raises(ValueError):
+            IntermittentPowerManager(Capacitor(1.0), [])

@@ -1,0 +1,109 @@
+"""Tests for the zero-energy sensing transducers (Fig. 2(b))."""
+
+import numpy as np
+import pytest
+
+from repro.energy import (
+    BimetallicSwitch,
+    HydrogelResonator,
+    MechanicalChopper,
+    SpringAccelerometer,
+    ZeroEnergySensorReadout,
+    chopper_rate_to_flow,
+)
+
+RNG = np.random.default_rng(53)
+
+
+class TestBimetallicSwitch:
+    def test_switches_above_threshold(self):
+        switch = BimetallicSwitch(threshold_c=30.0)
+        assert switch.reflection_state(25.0) == 0.0
+        assert switch.reflection_state(31.0) == 1.0
+
+    def test_hysteresis(self):
+        switch = BimetallicSwitch(threshold_c=30.0, hysteresis_c=2.0)
+        assert switch.reflection_state(31.0) == 1.0
+        # Still ON inside the hysteresis band on the way down...
+        assert switch.reflection_state(29.0) == 1.0
+        # ...until the release point.
+        assert switch.reflection_state(27.9) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BimetallicSwitch(hysteresis_c=-1.0)
+
+
+class TestHydrogel:
+    def test_monotone_analog_response(self):
+        gel = HydrogelResonator(transition_c=32.0, band_c=6.0)
+        states = [gel.reflection_state(t) for t in [20.0, 29.0, 32.0, 35.0, 44.0]]
+        assert all(a < b for a, b in zip(states, states[1:]))
+        assert states[0] < 0.05
+        assert states[-1] > 0.95
+        assert states[2] == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HydrogelResonator(band_c=0.0)
+
+
+class TestSpringAccelerometer:
+    def test_threshold_contact(self):
+        spring = SpringAccelerometer(threshold_g=0.5)
+        assert spring.reflection_state(0.2) == 0.0
+        assert spring.reflection_state(0.7) == 1.0
+        assert spring.reflection_state(-0.7) == 1.0  # either direction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpringAccelerometer(threshold_g=0.0)
+
+
+class TestChopper:
+    def test_alternates_with_angle(self):
+        gear = MechanicalChopper(teeth=4)
+        quarter_tooth = 2 * np.pi / 4 / 2
+        s0 = gear.reflection_state(0.0)
+        s1 = gear.reflection_state(quarter_tooth * 1.01)
+        assert s0 != s1
+
+    def test_flow_decoding(self):
+        """A gear spinning at 2 rev/s is recovered from the decoded
+        toggle stream."""
+        gear = MechanicalChopper(teeth=8)
+        readout = ZeroEnergySensorReadout(gear, noise_db=0.2)
+        dt = 1e-3
+        rev_per_s = 2.0
+        angles = 2 * np.pi * rev_per_s * np.arange(2000) * dt
+        states = readout.sense_series(angles, np.random.default_rng(1))
+        flow = chopper_rate_to_flow(states, dt, teeth=8)
+        assert flow == pytest.approx(rev_per_s, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MechanicalChopper(teeth=0)
+        with pytest.raises(ValueError):
+            chopper_rate_to_flow(np.zeros(1), 0.001)
+        with pytest.raises(ValueError):
+            chopper_rate_to_flow(np.zeros(10), -1.0)
+
+
+class TestReadout:
+    def test_state_separation(self):
+        switch = BimetallicSwitch(threshold_c=30.0)
+        readout = ZeroEnergySensorReadout(switch, swing_db=8.0, noise_db=0.5)
+        cold = [readout.observe(20.0, RNG) for __ in range(50)]
+        hot = [readout.observe(40.0, RNG) for __ in range(50)]
+        assert np.mean(hot) - np.mean(cold) == pytest.approx(8.0, abs=1.0)
+
+    def test_decode_roundtrip(self):
+        switch = BimetallicSwitch(threshold_c=30.0)
+        readout = ZeroEnergySensorReadout(switch, swing_db=10.0, noise_db=0.3)
+        temps = [20.0, 40.0, 40.0, 20.0, 40.0]
+        states = readout.sense_series(temps, np.random.default_rng(2))
+        np.testing.assert_array_equal(states, [0, 1, 1, 0, 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZeroEnergySensorReadout(BimetallicSwitch(), swing_db=0.0)

@@ -1,0 +1,51 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The two training-heavy examples (elderly fall monitoring, full
+device-free sensing) are exercised by their benchmark counterparts
+instead; here we guard the rest against interface drift.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "sociogram_kindergarten.py",
+    "zero_energy_backscatter_network.py",
+    "train_congestion_monitoring.py",
+    "autonomous_hvac.py",
+    "design_support_planner.py",
+    "athlete_body_sensing.py",
+    "wildlife_and_slope_watch.py",
+]
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert len(out) > 100  # it actually reported something
+
+
+def test_examples_all_have_main():
+    for path in EXAMPLES.glob("*.py"):
+        source = path.read_text()
+        assert "def main()" in source, path.name
+        assert '__name__ == "__main__"' in source, path.name

@@ -1,0 +1,87 @@
+"""Property-based tests for the MAC layers and coexistence counters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backscatter import (
+    ContentionBackscatterMac,
+    ScheduledBackscatterMac,
+    run_coexistence,
+)
+from repro.sim import Simulator
+from repro.wsn import CsmaMac, TdmaMac
+
+
+class TestTdmaProperties:
+    @given(
+        st.integers(1, 6),       # nodes
+        st.integers(0, 12),      # packets offered
+        st.integers(0, 999),     # seed
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_never_drops_never_collides(self, n_nodes, n_packets, seed):
+        rng = np.random.default_rng(seed)
+        sim = Simulator()
+        delivered = []
+        mac = TdmaMac(sim, list(range(n_nodes)), slot_duration=1.0,
+                      on_delivery=lambda n, p: delivered.append(p))
+        for i in range(n_packets):
+            mac.offer(int(rng.integers(0, n_nodes)), i)
+        mac.start()
+        # Enough frames for every queue to drain.
+        sim.run(until=(n_packets + 1) * n_nodes + 1.0)
+        assert sorted(delivered) == list(range(n_packets))
+        assert mac.stats.collided == 0
+        assert mac.stats.delivery_ratio in (0.0, 1.0)
+
+
+class TestCsmaProperties:
+    @given(st.integers(1, 8), st.integers(0, 99))
+    @settings(max_examples=25, deadline=None)
+    def test_conservation(self, n_senders, seed):
+        """Every offered packet is eventually delivered or dropped —
+        none duplicated, none lost track of."""
+        sim = Simulator()
+        delivered = []
+        mac = CsmaMac(sim, 1.0, np.random.default_rng(seed),
+                      max_attempts=8,
+                      on_delivery=lambda n, p: delivered.append(p))
+        for node in range(n_senders):
+            mac.offer(node, node)
+        sim.run(until=5000.0)
+        assert len(delivered) == len(set(delivered))
+        assert set(delivered) <= set(range(n_senders))
+        assert mac.stats.delivered == len(delivered)
+
+
+class TestCoexistenceProperties:
+    @given(
+        st.integers(1, 12),                 # devices
+        st.floats(0.5, 100.0),              # wlan rate
+        st.integers(0, 99),                 # seed
+        st.sampled_from([ScheduledBackscatterMac, ContentionBackscatterMac]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_counter_invariants(self, n_devices, rate, seed, mac_class):
+        result = run_coexistence(
+            mac_class, n_devices, device_period_s=1.0, wlan_rate_pps=rate,
+            duration_s=30.0, seed=seed,
+        )
+        assert 0 <= result.readings_delivered <= result.readings_generated
+        assert result.deadline_misses <= result.readings_generated
+        assert 0.0 <= result.delivery_ratio <= 1.0
+        assert result.wlan_airtime_s >= 0.0
+        assert 0.0 <= result.dummy_overhead_fraction <= 1.0
+        assert len(result.latencies) == result.readings_delivered
+        if result.latencies:
+            assert min(result.latencies) >= 0.0
+
+    @given(st.integers(2, 10), st.integers(0, 49))
+    @settings(max_examples=15, deadline=None)
+    def test_scheduler_never_collides(self, n_devices, seed):
+        result = run_coexistence(
+            ScheduledBackscatterMac, n_devices, 1.0, 30.0, 30.0, seed=seed
+        )
+        assert result.backscatter_collisions == 0

@@ -1,0 +1,96 @@
+"""Small-surface tests: initializers, losses, queue edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, MSELoss
+from repro.nn import initializers
+from repro.nn.losses import softmax
+from repro.sim import Event, EventQueue
+from repro.wsn.network import TrafficStats
+
+
+class TestInitializers:
+    def test_he_normal_scale(self):
+        rng = np.random.default_rng(0)
+        w = initializers.he_normal((1000, 50), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_glorot_uniform_bounds(self):
+        rng = np.random.default_rng(1)
+        w = initializers.glorot_uniform((100, 60), rng)
+        limit = np.sqrt(6.0 / 160)
+        assert np.abs(w).max() <= limit
+
+    def test_conv_fans(self):
+        rng = np.random.default_rng(2)
+        # (out_c, in_c, kh, kw): fan_in = in_c * kh * kw
+        w = initializers.he_normal((32, 4, 3, 3), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 36), rel=0.1)
+
+    def test_zeros(self):
+        assert not initializers.zeros((3, 3), np.random.default_rng(0)).any()
+
+    def test_lookup(self):
+        assert initializers.get("he_normal") is initializers.he_normal
+        with pytest.raises(KeyError, match="valid"):
+            initializers.get("chaotic")
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = np.random.default_rng(3).normal(size=(5, 7)) * 10
+        s = softmax(x)
+        np.testing.assert_allclose(s.sum(axis=-1), 1.0)
+        assert np.all(s > 0)
+
+    def test_shift_invariance(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(x), softmax(x + 1000.0))
+
+    def test_extreme_logits_stable(self):
+        s = softmax(np.array([[1e4, -1e4]]))
+        assert np.isfinite(s).all()
+
+
+class TestLossEdgeCases:
+    def test_cross_entropy_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss().forward(np.zeros((2, 3, 4)), np.zeros(2))
+
+    def test_cross_entropy_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+    def test_mse_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            MSELoss().backward()
+
+    def test_cross_entropy_predict(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[0.1, 2.0], [3.0, -1.0]])
+        np.testing.assert_array_equal(loss.predict(logits), [1, 0])
+
+
+class TestEventQueueEdges:
+    def test_clear(self):
+        q = EventQueue()
+        q.push(Event(1.0, lambda: None))
+        q.clear()
+        assert len(q) == 0
+        with pytest.raises(IndexError):
+            q.peek_time()
+
+    def test_double_cancel_safe(self):
+        q = EventQueue()
+        e = q.push(Event(1.0, lambda: None))
+        q.cancel(e)
+        q.cancel(e)  # second cancel must not corrupt the count
+        assert len(q) == 0
+
+
+class TestTrafficStats:
+    def test_rx_values_of_missing_node(self):
+        stats = TrafficStats()
+        assert stats.rx_values_of(42) == 0
+        assert stats.max_rx_values() == 0

@@ -1,0 +1,165 @@
+"""Classifier behaviour tests on synthetic separable data."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    GaussianNaiveBayes,
+    KFold,
+    KNeighborsClassifier,
+    LogisticRegressionClassifier,
+    RandomForestClassifier,
+    StandardScaler,
+    train_test_split,
+)
+
+RNG = np.random.default_rng(42)
+
+
+def blobs(n_per_class=40, n_classes=3, d=4, sep=4.0, rng=None):
+    """Well-separated Gaussian blobs."""
+    rng = rng or np.random.default_rng(0)
+    xs, ys = [], []
+    for c in range(n_classes):
+        center = rng.normal(0, 1, size=d) * 0.1 + c * sep
+        xs.append(rng.normal(center, 1.0, size=(n_per_class, d)))
+        ys.append(np.full(n_per_class, c))
+    return np.vstack(xs), np.concatenate(ys)
+
+
+ALL_CLASSIFIERS = [
+    KNeighborsClassifier(k=3),
+    LogisticRegressionClassifier(epochs=200),
+    GaussianNaiveBayes(),
+    DecisionTreeClassifier(max_depth=6),
+    RandomForestClassifier(n_trees=10, max_depth=6),
+]
+
+
+@pytest.mark.parametrize("clf", ALL_CLASSIFIERS, ids=lambda c: type(c).__name__)
+class TestClassifierContract:
+    def test_separable_blobs(self, clf):
+        x, y = blobs()
+        x = StandardScaler().fit_transform(x)
+        x_tr, x_te, y_tr, y_te = train_test_split(
+            x, y, 0.3, np.random.default_rng(1), stratify=True
+        )
+        clf.fit(x_tr, y_tr)
+        assert clf.score(x_te, y_te) > 0.9
+
+    def test_predict_before_fit_raises(self, clf):
+        fresh = type(clf)()
+        with pytest.raises(RuntimeError):
+            fresh.predict(np.zeros((1, 4)))
+
+    def test_mismatched_lengths_raise(self, clf):
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_single_class_predicts_it(self, clf):
+        x = RNG.normal(size=(10, 3))
+        y = np.full(10, 2)
+        clf.fit(x, y)
+        assert set(clf.predict(x)) == {2}
+
+
+class TestKNN:
+    def test_k1_memorizes(self):
+        x, y = blobs(n_per_class=10)
+        clf = KNeighborsClassifier(k=1).fit(x, y)
+        assert clf.score(x, y) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(k=0)
+
+    def test_k_larger_than_train(self):
+        clf = KNeighborsClassifier(k=100).fit(np.zeros((3, 2)), [0, 0, 1])
+        assert clf.predict(np.zeros((1, 2)))[0] == 0
+
+
+class TestTree:
+    def test_depth_respected(self):
+        x, y = blobs(n_per_class=50)
+        tree = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_axis_aligned_split(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(x, y)
+        np.testing.assert_array_equal(tree.predict(x), y)
+
+    def test_deterministic(self):
+        x, y = blobs()
+        p1 = DecisionTreeClassifier(seed=5).fit(x, y).predict(x)
+        p2 = DecisionTreeClassifier(seed=5).fit(x, y).predict(x)
+        np.testing.assert_array_equal(p1, p2)
+
+
+class TestForest:
+    def test_more_trees_no_worse_on_noise(self):
+        rng = np.random.default_rng(3)
+        x, y = blobs(sep=2.0, rng=rng)
+        x += rng.normal(0, 1.0, size=x.shape)
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, 0.3, rng)
+        small = RandomForestClassifier(n_trees=1, max_depth=4, seed=0)
+        big = RandomForestClassifier(n_trees=25, max_depth=4, seed=0)
+        s = small.fit(x_tr, y_tr).score(x_te, y_te)
+        b = big.fit(x_tr, y_tr).score(x_te, y_te)
+        assert b >= s - 0.05
+
+    def test_invalid_n_trees(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_trees=0)
+
+
+class TestScaler:
+    def test_zero_mean_unit_var(self):
+        x = RNG.normal(5.0, 3.0, size=(200, 4))
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_no_nan(self):
+        x = np.ones((10, 2))
+        z = StandardScaler().fit_transform(x)
+        assert np.isfinite(z).all()
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+
+class TestModelSelection:
+    def test_split_fractions(self):
+        x = np.arange(100).reshape(-1, 1)
+        y = np.arange(100) % 2
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, 0.25, RNG)
+        assert len(x_te) == 25
+        assert len(x_tr) == 75
+        assert set(x_tr.ravel()) | set(x_te.ravel()) == set(range(100))
+
+    def test_stratified_keeps_ratio(self):
+        y = np.array([0] * 80 + [1] * 20)
+        x = np.zeros((100, 1))
+        __, __, __, y_te = train_test_split(x, y, 0.25, RNG, stratify=True)
+        assert (y_te == 1).sum() == 5
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), 1.5, RNG)
+
+    def test_kfold_covers_all(self):
+        kf = KFold(4, np.random.default_rng(0))
+        seen = []
+        for train_idx, test_idx in kf.split(22):
+            assert set(train_idx) & set(test_idx) == set()
+            seen.extend(test_idx)
+        assert sorted(seen) == list(range(22))
+
+    def test_kfold_too_few_samples(self):
+        kf = KFold(5, RNG)
+        with pytest.raises(ValueError):
+            list(kf.split(3))

@@ -1,0 +1,116 @@
+"""Unit + property tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    accuracy,
+    confusion_matrix,
+    f_measure,
+    macro_f_measure,
+    mean_absolute_error,
+    precision_recall,
+    within_k_accuracy,
+)
+
+labels_arrays = st.lists(st.integers(0, 4), min_size=1, max_size=60)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_half(self):
+        assert accuracy([0, 0, 1, 1], [0, 1, 1, 0]) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([1, 2], [1])
+
+    @given(labels_arrays)
+    def test_self_accuracy_is_one(self, ys):
+        assert accuracy(ys, ys) == 1.0
+
+    @given(labels_arrays)
+    @settings(max_examples=30)
+    def test_bounded(self, ys):
+        preds = [(y + 1) % 5 for y in ys]
+        assert 0.0 <= accuracy(ys, preds) <= 1.0
+
+
+class TestWithinK:
+    def test_exact_equals_accuracy(self):
+        t, p = [1, 2, 3], [1, 3, 5]
+        assert within_k_accuracy(t, p, 0) == accuracy(t, p)
+
+    def test_within_two(self):
+        assert within_k_accuracy([5, 5, 5], [3, 7, 9], 2) == pytest.approx(2 / 3)
+
+    @given(labels_arrays)
+    def test_monotone_in_k(self, ys):
+        preds = [(y + 2) % 5 for y in ys]
+        vals = [within_k_accuracy(ys, preds, k) for k in range(5)]
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+
+
+class TestConfusion:
+    def test_diagonal_for_perfect(self):
+        mat = confusion_matrix([0, 1, 2, 1], [0, 1, 2, 1])
+        assert mat.trace() == 4
+        assert mat.sum() == 4
+
+    def test_known_entries(self):
+        mat = confusion_matrix([0, 0, 1], [1, 0, 1])
+        assert mat[0, 1] == 1
+        assert mat[0, 0] == 1
+        assert mat[1, 1] == 1
+
+    @given(labels_arrays)
+    def test_row_sums_are_class_counts(self, ys):
+        preds = list(reversed(ys))
+        mat = confusion_matrix(ys, preds, num_classes=5)
+        expected = np.bincount(ys, minlength=5)
+        np.testing.assert_array_equal(mat.sum(axis=1), expected)
+
+
+class TestFMeasure:
+    def test_perfect_is_one(self):
+        assert f_measure([1, 1, 0], [1, 1, 0], positive_class=1) == 1.0
+
+    def test_no_predictions_is_zero(self):
+        assert f_measure([1, 1], [0, 0], positive_class=1) == 0.0
+
+    def test_known_value(self):
+        # tp=1, fp=1, fn=1 -> precision=recall=0.5 -> F=0.5
+        assert f_measure([1, 1, 0], [1, 0, 1], positive_class=1) == pytest.approx(0.5)
+
+    def test_precision_recall_values(self):
+        p, r = precision_recall([1, 1, 0, 0], [1, 0, 1, 0], positive_class=1)
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(0.5)
+
+    @given(labels_arrays)
+    def test_macro_f_bounded(self, ys):
+        preds = [(y * 2) % 5 for y in ys]
+        assert 0.0 <= macro_f_measure(ys, preds, num_classes=5) <= 1.0
+
+    @given(labels_arrays)
+    def test_macro_f_perfect(self, ys):
+        score = macro_f_measure(ys, ys, num_classes=5)
+        # classes absent from ys contribute 0; restrict to present ones
+        present = len(set(ys))
+        assert score == pytest.approx(present / 5)
+
+
+class TestMAE:
+    def test_zero_for_equal(self):
+        assert mean_absolute_error([1, 2], [1, 2]) == 0.0
+
+    def test_known(self):
+        assert mean_absolute_error([0, 0], [1, 3]) == 2.0

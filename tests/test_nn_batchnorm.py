@@ -1,0 +1,150 @@
+"""Tests for the BatchNorm layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm, Conv2D, Dense, Flatten, ReLU, SGD, Sequential, Trainer
+
+RNG = np.random.default_rng(141)
+EPS = 1e-5
+TOL = 2e-4
+
+
+def numeric_grad(f, x):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + EPS
+        hi = f()
+        x[idx] = orig - EPS
+        lo = f()
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * EPS)
+        it.iternext()
+    return grad
+
+
+class TestForward:
+    def test_training_output_normalized_2d(self):
+        layer = BatchNorm()
+        layer.build((6,), RNG)
+        x = RNG.normal(3.0, 2.0, size=(64, 6))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_training_output_normalized_4d(self):
+        layer = BatchNorm()
+        layer.build((3, 5, 5), RNG)
+        x = RNG.normal(-2.0, 4.0, size=(16, 3, 5, 5))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+
+    def test_gamma_beta_applied(self):
+        layer = BatchNorm()
+        layer.build((2,), RNG)
+        layer.params()["gamma"][...] = [2.0, 3.0]
+        layer.params()["beta"][...] = [1.0, -1.0]
+        x = RNG.normal(size=(128, 2))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), [1.0, -1.0], atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), [2.0, 3.0], atol=0.05)
+
+    def test_inference_uses_running_stats(self):
+        layer = BatchNorm(momentum=0.0)  # running = last batch
+        layer.build((3,), RNG)
+        x = RNG.normal(5.0, 2.0, size=(256, 3))
+        layer.forward(x, training=True)
+        same = layer.forward(x, training=False)
+        np.testing.assert_allclose(same.mean(axis=0), 0.0, atol=0.05)
+        shifted = layer.forward(x + 10.0, training=False)
+        assert shifted.mean() > 2.0  # not re-normalized away
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BatchNorm(momentum=1.0)
+        layer = BatchNorm()
+        layer.build((2,), RNG)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 2, 2)), training=True)
+
+
+class TestBackward:
+    @pytest.mark.parametrize("shape", [(5, 4), (3, 2, 4, 4)])
+    def test_input_gradient_numeric(self, shape):
+        layer = BatchNorm()
+        layer.build(shape[1:2] if len(shape) == 2 else shape[1:2], RNG)
+        # build() only needs the channel count; rebuild properly:
+        layer = BatchNorm()
+        layer.build((shape[1],), RNG)
+        x = RNG.normal(size=shape)
+        w = RNG.normal(size=shape)
+
+        def loss():
+            return float((layer.forward(x, training=True) * w).sum())
+
+        loss()
+        analytic = layer.backward(w)
+        numeric = numeric_grad(loss, x)
+        np.testing.assert_allclose(analytic, numeric, rtol=TOL, atol=TOL)
+
+    def test_param_gradients_numeric(self):
+        layer = BatchNorm()
+        layer.build((3,), RNG)
+        x = RNG.normal(size=(6, 3))
+        w = RNG.normal(size=(6, 3))
+
+        def loss():
+            return float((layer.forward(x, training=True) * w).sum())
+
+        loss()
+        layer.zero_grads()
+        layer.backward(w)
+        for name in ("gamma", "beta"):
+            analytic = layer.grads()[name].copy()
+            numeric = numeric_grad(loss, layer.params()[name])
+            np.testing.assert_allclose(analytic, numeric, rtol=TOL, atol=TOL,
+                                       err_msg=name)
+
+    def test_backward_before_forward(self):
+        layer = BatchNorm()
+        layer.build((2,), RNG)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((2, 2)))
+
+
+class TestIntegration:
+    def test_trains_inside_cnn(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(0.0, 0.3, size=(120, 1, 8, 8))
+        y = rng.integers(0, 2, size=120)
+        for i in range(120):
+            r = 1 if y[i] else 5
+            x[i, 0, r : r + 2, 3:5] += 2.0
+        model = Sequential([
+            Conv2D(2, 3), BatchNorm(), ReLU(), Flatten(), Dense(2),
+        ])
+        trainer = Trainer(model, SGD(lr=0.1, momentum=0.9))
+        history = trainer.fit(x, y, epochs=15, batch_size=16,
+                              rng=np.random.default_rng(6))
+        assert history.train_accuracy[-1] > 0.9
+
+    def test_microdeep_treats_batchnorm_as_free(self):
+        from repro.core import (
+            CommunicationCostModel,
+            UnitGraph,
+            grid_correspondence_assignment,
+        )
+        from repro.wsn import GridTopology
+
+        model = Sequential([
+            Conv2D(2, 3), BatchNorm(), ReLU(), Flatten(), Dense(2),
+        ])
+        model.build((1, 8, 8), RNG)
+        graph = UnitGraph(model)
+        topo = GridTopology(3, 3)
+        placement = grid_correspondence_assignment(graph, topo)
+        report = CommunicationCostModel(graph, topo).inference_cost(placement)
+        assert report.per_layer_total.get(1, 0) == 0  # the BatchNorm

@@ -1,0 +1,272 @@
+"""Numerical gradient checks for every layer and loss.
+
+These are the correctness bedrock for MicroDeep: the distributed
+executor reuses these layers, so analytic/numeric agreement here
+validates both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2D,
+    Conv2D,
+    CrossEntropyLoss,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    MSELoss,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+
+RNG = np.random.default_rng(12345)
+EPS = 1e-5
+TOL = 1e-4
+
+
+def numeric_grad(f, x):
+    """Central-difference gradient of scalar f wrt array x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + EPS
+        hi = f()
+        x[idx] = orig - EPS
+        lo = f()
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * EPS)
+        it.iternext()
+    return grad
+
+
+def layer_loss(layer, x):
+    """Deterministic scalar 'loss': weighted sum of the layer output."""
+    out = layer.forward(x, training=True)
+    if not hasattr(layer_loss, "_w") or layer_loss._w.shape != out.shape:
+        layer_loss._w = np.arange(out.size, dtype=float).reshape(out.shape) / out.size
+    return float((out * layer_loss._w).sum()), layer_loss._w
+
+
+def check_layer_input_grad(layer, x):
+    layer_loss._w = np.empty(0)
+    loss, w = layer_loss(layer, x)
+    grad_in = layer.backward(w)
+
+    def f():
+        return layer_loss(layer, x)[0]
+
+    num = numeric_grad(f, x)
+    np.testing.assert_allclose(grad_in, num, rtol=TOL, atol=TOL)
+
+
+def check_layer_param_grads(layer, x):
+    layer_loss._w = np.empty(0)
+    loss, w = layer_loss(layer, x)
+    layer.zero_grads()
+    layer.backward(w)
+    for name, p in layer.params().items():
+        analytic = layer.grads()[name].copy()
+
+        def f():
+            return layer_loss(layer, x)[0]
+
+        num = numeric_grad(f, p)
+        np.testing.assert_allclose(analytic, num, rtol=TOL, atol=TOL, err_msg=name)
+
+
+class TestConv2D:
+    @pytest.mark.parametrize("stride,padding", [(1, "valid"), (2, "valid"), (1, "same")])
+    def test_input_gradient(self, stride, padding):
+        layer = Conv2D(3, 3, stride=stride, padding=padding)
+        layer.build((2, 6, 6), RNG)
+        x = RNG.normal(size=(2, 2, 6, 6))
+        check_layer_input_grad(layer, x)
+
+    def test_param_gradients(self):
+        layer = Conv2D(2, 3)
+        layer.build((2, 5, 5), RNG)
+        x = RNG.normal(size=(2, 2, 5, 5))
+        check_layer_param_grads(layer, x)
+
+    def test_output_shape_matches_forward(self):
+        layer = Conv2D(4, 3, stride=2, padding="valid")
+        layer.build((3, 9, 9), RNG)
+        x = RNG.normal(size=(2, 3, 9, 9))
+        out = layer.forward(x)
+        assert out.shape == (2,) + layer.output_shape((3, 9, 9))
+
+    def test_same_padding_preserves_hw(self):
+        layer = Conv2D(4, 3, padding="same")
+        layer.build((1, 7, 7), RNG)
+        assert layer.output_shape((1, 7, 7)) == (4, 7, 7)
+
+    def test_known_convolution_value(self):
+        layer = Conv2D(1, 2)
+        layer.build((1, 2, 2), RNG)
+        layer.params()["W"][...] = np.ones((1, 1, 2, 2))
+        layer.params()["b"][...] = 1.0
+        x = np.arange(4, dtype=float).reshape(1, 1, 2, 2)
+        out = layer.forward(x)
+        assert out.shape == (1, 1, 1, 1)
+        assert out[0, 0, 0, 0] == pytest.approx(0 + 1 + 2 + 3 + 1)
+
+
+class TestPooling:
+    def test_maxpool_gradient(self):
+        layer = MaxPool2D(2)
+        x = RNG.normal(size=(2, 3, 4, 4))
+        check_layer_input_grad(layer, x)
+
+    def test_avgpool_gradient(self):
+        layer = AvgPool2D(2)
+        x = RNG.normal(size=(2, 3, 4, 4))
+        check_layer_input_grad(layer, x)
+
+    def test_maxpool_value(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avgpool_value(self):
+        layer = AvgPool2D(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_pool_overlapping_stride(self):
+        layer = MaxPool2D(2, stride=1)
+        x = RNG.normal(size=(1, 1, 4, 4))
+        assert layer.forward(x).shape == (1, 1, 3, 3)
+
+
+class TestDense:
+    def test_input_gradient(self):
+        layer = Dense(4)
+        layer.build((6,), RNG)
+        x = RNG.normal(size=(3, 6))
+        check_layer_input_grad(layer, x)
+
+    def test_param_gradients(self):
+        layer = Dense(3)
+        layer.build((5,), RNG)
+        x = RNG.normal(size=(2, 5))
+        check_layer_param_grads(layer, x)
+
+    def test_rejects_spatial_input(self):
+        layer = Dense(3)
+        with pytest.raises(ValueError, match="Flatten"):
+            layer.build((2, 3, 3), RNG)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("cls", [ReLU, Sigmoid, Tanh])
+    def test_gradient(self, cls):
+        layer = cls()
+        x = RNG.normal(size=(3, 4)) + 0.1  # avoid ReLU kink at 0
+        check_layer_input_grad(layer, x)
+
+    def test_relu_clamps_negative(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_sigmoid_range(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 0.0, 1000.0]]))
+        assert np.all(out >= 0) and np.all(out <= 1)
+        assert out[0, 1] == pytest.approx(0.5)
+
+
+class TestFlattenDropout:
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = RNG.normal(size=(2, 3, 4, 5))
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 60)
+        back = layer.backward(out)
+        assert back.shape == x.shape
+
+    def test_dropout_eval_is_identity(self):
+        layer = Dropout(0.5)
+        layer.build((10,), RNG)
+        x = RNG.normal(size=(4, 10))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_dropout_preserves_expectation(self):
+        layer = Dropout(0.5)
+        layer.build((1000,), np.random.default_rng(0))
+        x = np.ones((50, 1000))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestLosses:
+    def test_cross_entropy_gradient(self):
+        loss = CrossEntropyLoss()
+        logits = RNG.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 1])
+        loss.forward(logits, labels)
+        analytic = loss.backward()
+
+        def f():
+            return CrossEntropyLoss().forward(logits, labels)
+
+        num = numeric_grad(f, logits)
+        np.testing.assert_allclose(analytic, num, rtol=TOL, atol=TOL)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        val = CrossEntropyLoss().forward(logits, np.array([0, 1]))
+        assert val == pytest.approx(0.0, abs=1e-6)
+
+    def test_mse_gradient(self):
+        loss = MSELoss()
+        pred = RNG.normal(size=(3, 2))
+        target = RNG.normal(size=(3, 2))
+        loss.forward(pred, target)
+        analytic = loss.backward()
+
+        def f():
+            return MSELoss().forward(pred, target)
+
+        num = numeric_grad(f, pred)
+        np.testing.assert_allclose(analytic, num, rtol=TOL, atol=TOL)
+
+
+class TestEndToEndGradient:
+    def test_full_cnn_param_gradients(self):
+        rng = np.random.default_rng(7)
+        model = Sequential(
+            [Conv2D(2, 3), ReLU(), MaxPool2D(2), Flatten(), Dense(3)]
+        )
+        model.build((1, 6, 6), rng)
+        x = rng.normal(size=(2, 1, 6, 6))
+        y = np.array([0, 2])
+        loss = CrossEntropyLoss()
+
+        model.zero_grads()
+        logits = model.forward(x, training=True)
+        loss.forward(logits, y)
+        model.backward(loss.backward())
+
+        for slot_id, params, grads in model.param_slots():
+            for name, p in params.items():
+                analytic = grads[name].copy()
+
+                def f():
+                    out = model.forward(x, training=True)
+                    return CrossEntropyLoss().forward(out, y)
+
+                num = numeric_grad(f, p)
+                np.testing.assert_allclose(
+                    analytic, num, rtol=5e-4, atol=5e-4, err_msg=f"{slot_id}.{name}"
+                )

@@ -1,0 +1,59 @@
+"""Tests for model weight serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    load_weights,
+    save_weights,
+)
+
+
+def build(seed=0, hidden=8):
+    model = Sequential([
+        Conv2D(2, 3), ReLU(), MaxPool2D(2), Flatten(), Dense(hidden), Dense(2),
+    ])
+    model.build((1, 8, 8), np.random.default_rng(seed))
+    return model
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_outputs(self, tmp_path):
+        model = build(seed=1)
+        x = np.random.default_rng(2).normal(size=(3, 1, 8, 8))
+        expected = model.forward(x)
+        path = tmp_path / "weights.npz"
+        save_weights(model, path)
+        fresh = build(seed=99)  # different init
+        assert not np.allclose(fresh.forward(x), expected)
+        load_weights(fresh, path)
+        np.testing.assert_allclose(fresh.forward(x), expected)
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        model = build(hidden=8)
+        path = tmp_path / "weights.npz"
+        save_weights(model, path)
+        other = build(hidden=16)
+        with pytest.raises(ValueError, match="architecture mismatch"):
+            load_weights(other, path)
+
+    def test_unbuilt_models_rejected(self, tmp_path):
+        unbuilt = Sequential([Dense(2)])
+        with pytest.raises(RuntimeError):
+            save_weights(unbuilt, tmp_path / "w.npz")
+        with pytest.raises(RuntimeError):
+            load_weights(unbuilt, tmp_path / "w.npz")
+
+    def test_file_is_single_npz(self, tmp_path):
+        model = build()
+        path = tmp_path / "weights.npz"
+        save_weights(model, path)
+        assert path.exists()
+        with np.load(path) as data:
+            assert "__fingerprint__" in data.files

@@ -1,0 +1,187 @@
+"""Tests for the centralized trainer, optimizers, and model container."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    SGD,
+    Sequential,
+    Trainer,
+)
+
+RNG = np.random.default_rng(101)
+
+
+def linear_task(n=200, d=6, rng=None):
+    """Linearly separable binary task."""
+    rng = rng or np.random.default_rng(0)
+    w = rng.normal(size=d)
+    x = rng.normal(size=(n, d))
+    y = (x @ w > 0).astype(int)
+    return x, y
+
+
+def build_mlp(d=6, seed=0):
+    model = Sequential([Dense(16), ReLU(), Dense(2)])
+    model.build((d,), np.random.default_rng(seed))
+    return model
+
+
+class TestOptimizers:
+    def _quadratic_step(self, opt, start=5.0, steps=200):
+        """Minimize f(w) = w^2 via the optimizer interface."""
+        w = np.array([start])
+        g = np.zeros(1)
+        for __ in range(steps):
+            g[:] = 2 * w
+            opt.step([("slot", {"w": w}, {"w": g})])
+        return float(abs(w[0]))
+
+    def test_sgd_converges(self):
+        assert self._quadratic_step(SGD(lr=0.1)) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic_step(SGD(lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_adam_converges(self):
+        assert self._quadratic_step(Adam(lr=0.3)) < 1e-2
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam(lr=-1.0)
+
+    def test_state_keyed_per_slot(self):
+        """Two parameters with the same name in different slots keep
+        independent momentum."""
+        opt = SGD(lr=0.1, momentum=0.9)
+        w1, w2 = np.array([1.0]), np.array([100.0])
+        for __ in range(5):
+            opt.step([
+                ("a", {"w": w1}, {"w": 2 * w1}),
+                ("b", {"w": w2}, {"w": 2 * w2}),
+            ])
+        # Ratio preserved under identical relative dynamics.
+        assert w2[0] / w1[0] == pytest.approx(100.0, rel=1e-9)
+
+
+class TestTrainer:
+    def test_learns_linear_task(self):
+        x, y = linear_task()
+        model = build_mlp()
+        trainer = Trainer(model, SGD(lr=0.1, momentum=0.9))
+        history = trainer.fit(x, y, epochs=30, batch_size=16,
+                              rng=np.random.default_rng(1))
+        assert history.train_accuracy[-1] > 0.95
+        assert history.epochs == 30
+
+    def test_loss_decreases(self):
+        x, y = linear_task()
+        model = build_mlp(seed=2)
+        trainer = Trainer(model, SGD(lr=0.05))
+        history = trainer.fit(x, y, epochs=20, batch_size=32,
+                              rng=np.random.default_rng(3))
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_builds_unbuilt_model(self):
+        x, y = linear_task(d=4)
+        model = Sequential([Dense(8), ReLU(), Dense(2)])
+        trainer = Trainer(model, SGD(lr=0.1))
+        trainer.fit(x, y, epochs=2, batch_size=32,
+                    rng=np.random.default_rng(4))
+        assert model.built
+
+    def test_early_stopping_restores_best(self):
+        x, y = linear_task(300, rng=np.random.default_rng(5))
+        model = build_mlp(seed=6)
+        trainer = Trainer(model, SGD(lr=0.1, momentum=0.9))
+        history = trainer.fit(
+            x[:200], y[:200], epochs=50, batch_size=16,
+            rng=np.random.default_rng(7),
+            x_val=x[200:], y_val=y[200:], patience=4,
+        )
+        __, final = trainer.evaluate(x[200:], y[200:])
+        assert final == pytest.approx(history.best_val_accuracy, abs=1e-12)
+        assert history.epochs < 50  # it actually stopped early
+
+    def test_evaluate_batching_consistent(self):
+        x, y = linear_task(100)
+        model = build_mlp(seed=8)
+        trainer = Trainer(model, SGD(lr=0.1))
+        loss_small, acc_small = trainer.evaluate(x, y, batch_size=7)
+        loss_big, acc_big = trainer.evaluate(x, y, batch_size=100)
+        assert loss_small == pytest.approx(loss_big)
+        assert acc_small == acc_big
+
+
+class TestSequentialContainer:
+    def test_forward_before_build_raises(self):
+        model = Sequential([Dense(2)])
+        with pytest.raises(RuntimeError):
+            model.forward(np.zeros((1, 4)))
+
+    def test_add_after_build_raises(self):
+        model = Sequential([Dense(2)])
+        model.build((4,), RNG)
+        with pytest.raises(RuntimeError):
+            model.add(Dense(3))
+
+    def test_layer_shapes_chain(self):
+        model = Sequential([
+            Conv2D(3, 3), ReLU(), MaxPool2D(2), Flatten(), Dense(5),
+        ])
+        model.build((1, 8, 8), RNG)
+        shapes = model.layer_shapes()
+        assert shapes[0] == ((1, 8, 8), (3, 6, 6))
+        assert shapes[2] == ((3, 6, 6), (3, 3, 3))
+        assert shapes[-1] == ((27,), (5,))
+
+    def test_num_params(self):
+        model = Sequential([Dense(4), Dense(2)])
+        model.build((3,), RNG)
+        assert model.num_params() == (3 * 4 + 4) + (4 * 2 + 2)
+
+    def test_weight_roundtrip(self):
+        model = Sequential([Dense(4), ReLU(), Dense(2)])
+        model.build((3,), RNG)
+        weights = model.get_weights()
+        x = RNG.normal(size=(2, 3))
+        expected = model.forward(x)
+        for __, params, __g in model.param_slots():
+            for p in params.values():
+                p += 1.0  # perturb
+        assert not np.allclose(model.forward(x), expected)
+        model.set_weights(weights)
+        np.testing.assert_allclose(model.forward(x), expected)
+
+    def test_set_weights_validates(self):
+        model = Sequential([Dense(4)])
+        model.build((3,), RNG)
+        with pytest.raises(ValueError):
+            model.set_weights([np.zeros((3, 4))])  # missing bias
+        with pytest.raises(ValueError):
+            model.set_weights([np.zeros((9, 9)), np.zeros(4)])
+
+    def test_zero_grads(self):
+        model = Sequential([Dense(2)])
+        model.build((3,), RNG)
+        out = model.forward(np.ones((1, 3)), training=True)
+        model.backward(np.ones_like(out))
+        assert any(
+            g.any() for __, __p, grads in model.param_slots()
+            for g in grads.values()
+        )
+        model.zero_grads()
+        assert all(
+            not g.any() for __, __p, grads in model.param_slots()
+            for g in grads.values()
+        )

@@ -1,0 +1,169 @@
+"""Tests for PEM crowd counting and Viterbi trajectory tracking."""
+
+import numpy as np
+import pytest
+
+from repro.contexts import MISSED, CellWorld, TrajectorySimulator, ViterbiTracker
+from repro.sensing import (
+    CrowdCsiScenario,
+    GreyVerhulstEstimator,
+    percentage_nonzero_elements,
+)
+
+RNG = np.random.default_rng(91)
+
+
+class TestPem:
+    def test_pem_range(self):
+        frames = RNG.normal(size=(5, 8, 2, 2)) + 1j * RNG.normal(size=(5, 8, 2, 2))
+        pem = percentage_nonzero_elements(frames)
+        assert 0.0 <= pem <= 1.0
+
+    def test_static_channel_low_pem(self):
+        frames = np.ones((6, 8, 2, 2), dtype=complex)
+        assert percentage_nonzero_elements(frames) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentage_nonzero_elements(np.ones((1, 8, 2, 2), dtype=complex))
+        with pytest.raises(ValueError):
+            percentage_nonzero_elements(np.ones((4, 8), dtype=complex))
+
+    def test_pem_grows_with_crowd(self):
+        scenario = CrowdCsiScenario(window=8)
+        rng = np.random.default_rng(1)
+        def mean_pem(count, reps=3):
+            return np.mean([
+                percentage_nonzero_elements(scenario.capture(count, rng))
+                for __ in range(reps)
+            ])
+        empty = mean_pem(0)
+        small = mean_pem(2)
+        large = mean_pem(8)
+        assert empty < small
+        assert small <= large + 0.05
+
+    def test_capture_validation(self):
+        with pytest.raises(ValueError):
+            CrowdCsiScenario(window=1)
+        with pytest.raises(ValueError):
+            CrowdCsiScenario().capture(-1, RNG)
+
+
+class TestGreyEstimator:
+    def _fit(self):
+        est = GreyVerhulstEstimator()
+        counts = [0, 1, 2, 4, 6, 8]
+        pems = [0.05, 0.3, 0.45, 0.6, 0.68, 0.72]
+        return est.fit(pems, counts)
+
+    def test_forward_monotone_saturating(self):
+        est = self._fit()
+        preds = [est.predict_pem(c) for c in [0, 1, 3, 6, 10, 30]]
+        assert all(a <= b + 1e-9 for a, b in zip(preds, preds[1:]))
+        # Saturation: the step from 10 to 30 is tiny vs. 0 to 3.
+        assert preds[5] - preds[4] < preds[2] - preds[0]
+
+    def test_roundtrip_estimation(self):
+        est = self._fit()
+        for count in [1, 2, 4, 6]:
+            pem = est.predict_pem(count)
+            assert abs(est.estimate_count(pem, max_count=12) - count) <= 1
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            GreyVerhulstEstimator().predict_pem(3)
+        with pytest.raises(RuntimeError):
+            GreyVerhulstEstimator().estimate_count(0.4)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            GreyVerhulstEstimator().fit([0.1], [1])
+
+
+class TestCellWorld:
+    def test_corridor(self):
+        world = CellWorld.corridor(5)
+        assert world.cells == [0, 1, 2, 3, 4]
+        assert world.neighbors(2) == [1, 3]
+        assert world.neighbors(0) == [1]
+
+    def test_floorplan(self):
+        world = CellWorld.floorplan(3, 4)
+        assert len(world.cells) == 12
+        corner_neighbors = world.neighbors(0)
+        assert len(corner_neighbors) == 2
+
+    def test_validation(self):
+        import networkx as nx
+        with pytest.raises(ValueError):
+            CellWorld(nx.path_graph(1))
+
+
+class TestTrajectory:
+    def test_walk_stays_on_graph(self):
+        world = CellWorld.floorplan(3, 3)
+        sim = TrajectorySimulator(world)
+        path = sim.walk(40, RNG)
+        for a, b in zip(path, path[1:]):
+            assert a == b or b in world.neighbors(a)
+
+    def test_observations_aligned(self):
+        world = CellWorld.corridor(6)
+        sim = TrajectorySimulator(world)
+        path = sim.walk(25, RNG)
+        obs = sim.observe(path, RNG)
+        assert len(obs) == len(path)
+        assert all(o == MISSED or o in world.cells for o in obs)
+
+    def test_validation(self):
+        world = CellWorld.corridor(4)
+        with pytest.raises(ValueError):
+            TrajectorySimulator(world, detection_probability=0.9,
+                                confusion_probability=0.3)
+        with pytest.raises(ValueError):
+            TrajectorySimulator(world).walk(0, RNG)
+        with pytest.raises(ValueError):
+            TrajectorySimulator(world).walk(5, RNG, start=99)
+
+
+class TestViterbi:
+    def test_perfect_observations_recovered(self):
+        world = CellWorld.corridor(6)
+        sim = TrajectorySimulator(world, detection_probability=1.0,
+                                  confusion_probability=0.0)
+        tracker = ViterbiTracker(world, detection_probability=1.0,
+                                 confusion_probability=0.0)
+        path = sim.walk(30, np.random.default_rng(2))
+        decoded = tracker.decode(path)
+        assert decoded == path
+
+    def test_beats_raw_observations(self):
+        """Smoothing over the adjacency graph recovers accuracy the
+        raw noisy detections lose."""
+        world = CellWorld.floorplan(3, 4)
+        sim = TrajectorySimulator(world, detection_probability=0.6,
+                                  confusion_probability=0.25)
+        tracker = ViterbiTracker(world, detection_probability=0.6,
+                                 confusion_probability=0.25)
+        rng = np.random.default_rng(3)
+        gains = []
+        for __ in range(10):
+            path = sim.walk(50, rng)
+            obs = sim.observe(path, rng)
+            tracked, raw = tracker.accuracy(path, obs)
+            gains.append(tracked - raw)
+        assert np.mean(gains) > 0.05
+
+    def test_handles_missed_detections(self):
+        world = CellWorld.corridor(5)
+        tracker = ViterbiTracker(world)
+        decoded = tracker.decode([0, MISSED, MISSED, 3])
+        assert len(decoded) == 4
+        # The path must be graph-consistent.
+        for a, b in zip(decoded, decoded[1:]):
+            assert a == b or b in world.neighbors(a)
+
+    def test_decode_validation(self):
+        with pytest.raises(ValueError):
+            ViterbiTracker(CellWorld.corridor(3)).decode([])

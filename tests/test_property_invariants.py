@@ -1,0 +1,187 @@
+"""Property-based invariants across randomly generated models.
+
+These hypothesis tests check the structural contracts the benchmarks
+rely on, over a space of CNN architectures and deployments rather than
+hand-picked cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CommunicationCostModel,
+    UnitGraph,
+    centralized_assignment,
+    grid_correspondence_assignment,
+    random_assignment,
+    round_robin_assignment,
+)
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+from repro.nn.layers.im2col import col2im, conv_output_hw, im2col
+from repro.wsn import GridTopology
+
+
+@st.composite
+def cnn_architectures(draw):
+    """A random conv[-pool]-flatten-dense(-dense) model plus input."""
+    input_hw = draw(st.sampled_from([(6, 6), (8, 8), (9, 7), (10, 10)]))
+    channels = draw(st.integers(1, 3))
+    filters = draw(st.integers(1, 4))
+    kernel = draw(st.sampled_from([2, 3]))
+    padding = draw(st.sampled_from(["valid", "same"]))
+    use_pool = draw(st.booleans())
+    hidden = draw(st.integers(2, 10))
+    layers = [Conv2D(filters, kernel, padding=padding), ReLU()]
+    if use_pool:
+        layers.append(MaxPool2D(2))
+    layers += [Flatten(), Dense(hidden), ReLU(), Dense(2)]
+    model = Sequential(layers)
+    model.build((channels,) + input_hw, np.random.default_rng(draw(st.integers(0, 99))))
+    return model
+
+
+@st.composite
+def deployments(draw):
+    rows = draw(st.integers(2, 4))
+    cols = draw(st.integers(2, 4))
+    return GridTopology(rows, cols)
+
+
+class TestUnitGraphProperties:
+    @given(cnn_architectures())
+    @settings(max_examples=25, deadline=None)
+    def test_unit_totals_match_layer_sums(self, model):
+        graph = UnitGraph(model)
+        total = 0
+        for entry in graph.layers:
+            if entry.kind == "spatial":
+                h, w = entry.out_hw
+                total += h * w
+            elif entry.kind == "flat":
+                total += entry.n_units
+        assert graph.total_units() == total
+
+    @given(cnn_architectures())
+    @settings(max_examples=25, deadline=None)
+    def test_spatial_deps_in_bounds(self, model):
+        graph = UnitGraph(model)
+        for entry in graph.spatial_layers():
+            h_in, w_in = entry.in_hw
+            for pos, reads in entry.deps.items():
+                for (iy, ix) in reads:
+                    assert 0 <= iy < h_in and 0 <= ix < w_in
+
+
+class TestAssignmentProperties:
+    @given(cnn_architectures(), deployments(), st.integers(0, 9))
+    @settings(max_examples=20, deadline=None)
+    def test_every_strategy_assigns_every_unit(self, model, topo, seed):
+        graph = UnitGraph(model)
+        rng = np.random.default_rng(seed)
+        for placement in [
+            grid_correspondence_assignment(graph, topo),
+            centralized_assignment(graph, topo),
+            round_robin_assignment(graph, topo),
+            random_assignment(graph, topo, rng),
+        ]:
+            assert len(placement.unit_node) == graph.total_units()
+            valid_nodes = set(topo.nodes)
+            assert set(placement.unit_node.values()) <= valid_nodes
+            h, w = graph.input_hw
+            assert len(placement.input_node) == h * w
+
+    @given(cnn_architectures(), deployments())
+    @settings(max_examples=20, deadline=None)
+    def test_elementwise_always_free(self, model, topo):
+        """Elementwise layers never generate traffic under any built-in
+        strategy (they are co-located with their producers)."""
+        graph = UnitGraph(model)
+        cm = CommunicationCostModel(graph, topo)
+        for placement in [
+            grid_correspondence_assignment(graph, topo),
+            centralized_assignment(graph, topo),
+            round_robin_assignment(graph, topo),
+        ]:
+            report = cm.inference_cost(placement)
+            for entry in graph.layers:
+                if entry.kind != "flatten" and entry.layer.is_elementwise:
+                    assert report.per_layer_total.get(entry.index, 0) == 0
+
+
+class TestCostModelProperties:
+    @given(cnn_architectures())
+    @settings(max_examples=15, deadline=None)
+    def test_single_node_is_free(self, model):
+        graph = UnitGraph(model)
+        topo = GridTopology(1, 1)
+        placement = grid_correspondence_assignment(graph, topo)
+        report = CommunicationCostModel(graph, topo).inference_cost(placement)
+        assert report.total_rx() == 0
+
+    @given(cnn_architectures(), deployments())
+    @settings(max_examples=15, deadline=None)
+    def test_costs_non_negative_and_peak_bounded(self, model, topo):
+        graph = UnitGraph(model)
+        cm = CommunicationCostModel(graph, topo)
+        placement = grid_correspondence_assignment(graph, topo)
+        report = cm.inference_cost(placement)
+        assert all(v >= 0 for v in report.rx_values.values())
+        assert report.max_rx() <= report.total_rx()
+
+    @given(cnn_architectures(), deployments(), st.integers(0, 9))
+    @settings(max_examples=10, deadline=None)
+    def test_transfers_sum_matches_report(self, model, topo, seed):
+        """The transfer list and the aggregated report agree on total
+        volume once relays are accounted."""
+        from repro.wsn.routing import shortest_path_route
+
+        graph = UnitGraph(model)
+        cm = CommunicationCostModel(graph, topo)
+        placement = random_assignment(graph, topo, np.random.default_rng(seed))
+        transfers = cm.transfers(placement)
+        expected = 0
+        for __, src, dst, n_values in transfers:
+            route = shortest_path_route(topo, src, dst)
+            assert route is not None
+            expected += (len(route) - 1) * n_values
+        report = cm.inference_cost(placement)
+        assert report.total_rx() == expected
+
+
+class TestIm2ColProperties:
+    @given(
+        st.integers(1, 2),  # batch
+        st.integers(1, 3),  # channels
+        st.sampled_from([(5, 5), (6, 4), (7, 7)]),
+        st.sampled_from([(2, 1, 0), (3, 1, 0), (3, 1, 1), (2, 2, 0)]),
+        st.integers(0, 99),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_col2im_is_adjoint_of_im2col(self, n, c, hw, khsp, seed):
+        """<im2col(x), y> == <x, col2im(y)> — the defining property of
+        the conv backward pass."""
+        kh, stride, pad = khsp
+        h, w = hw
+        try:
+            conv_output_hw(h, w, kh, kh, stride, pad)
+        except ValueError:
+            return
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, c, h, w))
+        col = im2col(x, kh, kh, stride, pad)
+        y = rng.normal(size=col.shape)
+        lhs = float((col * y).sum())
+        back = col2im(y, x.shape, kh, kh, stride, pad)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    @given(st.integers(0, 99))
+    @settings(max_examples=20, deadline=None)
+    def test_im2col_rows_are_patches(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 1, 4, 4))
+        col = im2col(x, 2, 2, 1, 0)
+        # First row is the top-left 2x2 patch.
+        np.testing.assert_allclose(col[0], x[0, 0, :2, :2].ravel())

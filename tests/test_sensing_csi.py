@@ -1,0 +1,179 @@
+"""Tests for the CSI channel, 802.11ac feedback, and features."""
+
+import numpy as np
+import pytest
+
+from repro.sensing import (
+    AntennaPattern,
+    Behavior,
+    CsiChannelModel,
+    CsiLocalizationScenario,
+    FEATURE_DIMENSION,
+    compress_vmatrix,
+    csi_feature_vector,
+    default_patterns,
+    quantize_angles,
+)
+from repro.sensing.csi.feedback import num_angles, steering_v
+
+RNG = np.random.default_rng(21)
+
+
+def random_unitary_tall(n_r, n_c, rng):
+    """Random (n_r, n_c) matrix with orthonormal columns."""
+    m = rng.normal(size=(n_r, n_r)) + 1j * rng.normal(size=(n_r, n_r))
+    q, __ = np.linalg.qr(m)
+    return q[:, :n_c]
+
+
+class TestChannel:
+    def _model(self):
+        return CsiChannelModel()
+
+    def test_output_shape(self):
+        h = self._model().generate((2.0, 2.0), Behavior.STANDING,
+                                   AntennaPattern.ALIGNED, RNG)
+        assert h.shape == (52, 4, 3)
+        assert np.iscomplexobj(h)
+
+    def test_position_changes_channel(self):
+        m = self._model()
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        h1 = m.generate((1.0, 1.0), Behavior.STANDING, AntennaPattern.ALIGNED, rng1)
+        h2 = m.generate((5.0, 4.0), Behavior.STANDING, AntennaPattern.ALIGNED, rng2)
+        assert np.abs(h1 - h2).max() > 0.01
+
+    def test_walking_more_variable_than_standing(self):
+        m = self._model()
+        def spread(behavior, seed):
+            rng = np.random.default_rng(seed)
+            hs = np.stack([
+                m.generate((3.0, 2.0), behavior, AntennaPattern.ALIGNED, rng)
+                for __ in range(20)
+            ])
+            return float(np.abs(hs - hs.mean(axis=0)).mean())
+        assert spread(Behavior.WALKING, 1) > spread(Behavior.STANDING, 1)
+
+    def test_invalid_antenna_count(self):
+        with pytest.raises(ValueError):
+            CsiChannelModel(n_tx=2, n_rx=3)
+
+
+class TestFeedback:
+    def test_num_angles_4x3_gives_12(self):
+        n_phi, n_psi = num_angles(4, 3)
+        assert n_phi == 6 and n_psi == 6
+
+    def test_num_angles_validation(self):
+        with pytest.raises(ValueError):
+            num_angles(2, 3)
+
+    def test_steering_v_orthonormal(self):
+        h = RNG.normal(size=(3, 4)) + 1j * RNG.normal(size=(3, 4))
+        v = steering_v(h, 3)
+        assert v.shape == (4, 3)
+        np.testing.assert_allclose(v.conj().T @ v, np.eye(3), atol=1e-10)
+
+    @pytest.mark.parametrize("shape", [(2, 1), (3, 2), (4, 3), (4, 2)])
+    def test_angle_counts_match_formula(self, shape):
+        v = random_unitary_tall(*shape, rng=RNG)
+        phis, psis = compress_vmatrix(v)
+        n_phi, n_psi = num_angles(*shape)
+        assert len(phis) == n_phi
+        assert len(psis) == n_psi
+
+    def test_angle_ranges(self):
+        for seed in range(5):
+            v = random_unitary_tall(4, 3, np.random.default_rng(seed))
+            phis, psis = compress_vmatrix(v)
+            assert np.all(phis >= 0) and np.all(phis < 2 * np.pi)
+            assert np.all(psis >= 0) and np.all(psis <= np.pi / 2 + 1e-9)
+
+    def test_deterministic(self):
+        v = random_unitary_tall(4, 3, np.random.default_rng(2))
+        p1 = compress_vmatrix(v)
+        p2 = compress_vmatrix(v)
+        np.testing.assert_array_equal(p1[0], p2[0])
+        np.testing.assert_array_equal(p1[1], p2[1])
+
+    def test_quantization_grid(self):
+        phis = np.array([0.1, 1.0, 5.0])
+        psis = np.array([0.05, 0.7, 1.5])
+        qphi, qpsi = quantize_angles(phis, psis, phi_bits=6, psi_bits=4)
+        step_phi = np.pi / 2**5
+        step_psi = np.pi / 2**5
+        # quantized values sit on the (k + 0.5) grid
+        def on_grid(vals, step):
+            frac = (vals / step - 0.5) % 1.0
+            return np.all(np.minimum(frac, 1.0 - frac) < 1e-6)
+
+        assert on_grid(qphi, step_phi)
+        assert on_grid(qpsi, step_psi)
+        # quantization error bounded by half a step
+        assert np.all(np.abs(qphi - phis) <= step_phi / 2 + 1e-9)
+
+    def test_quantize_validation(self):
+        with pytest.raises(ValueError):
+            quantize_angles(np.zeros(1), np.zeros(1), phi_bits=0)
+
+
+class TestFeatures:
+    def test_exactly_624_features(self):
+        """The paper's headline feature dimensionality."""
+        h = CsiChannelModel().generate(
+            (2.0, 2.0), Behavior.STANDING, AntennaPattern.ALIGNED, RNG
+        )
+        f = csi_feature_vector(h)
+        assert f.shape == (FEATURE_DIMENSION,)
+        assert FEATURE_DIMENSION == 624
+
+    def test_quantize_flag_changes_values(self):
+        h = CsiChannelModel().generate(
+            (2.0, 2.0), Behavior.STANDING, AntennaPattern.ALIGNED, RNG
+        )
+        fq = csi_feature_vector(h, quantize=True)
+        fr = csi_feature_vector(h, quantize=False)
+        assert not np.allclose(fq, fr)
+        assert np.abs(fq - fr).max() < 0.2  # quantization is mild
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            csi_feature_vector(np.zeros((4, 3)))
+
+
+class TestScenario:
+    def test_dataset_shapes_single_frame(self):
+        scenario = CsiLocalizationScenario()
+        pattern = default_patterns()[0]
+        x, y = scenario.generate_dataset(pattern, 3, RNG, window=1)
+        assert x.shape == (7 * 3, 624)
+        assert set(y) == set(range(7))
+
+    def test_dataset_shapes_windowed(self):
+        scenario = CsiLocalizationScenario()
+        pattern = default_patterns()[0]
+        x, y = scenario.generate_dataset(pattern, 2, RNG, window=4)
+        assert x.shape == (7 * 2, 4 * 624)
+
+    def test_clutter_ablation_runs(self):
+        scenario = CsiLocalizationScenario()
+        pattern = default_patterns()[0]
+        x, __ = scenario.generate_dataset(
+            pattern, 1, RNG, window=2, clutter_paths=3
+        )
+        assert np.isfinite(x).all()
+
+    def test_six_default_patterns(self):
+        names = [p.name for p in default_patterns()]
+        assert len(names) == 6
+        assert len(set(names)) == 6
+
+    def test_positions_validation(self):
+        with pytest.raises(ValueError):
+            CsiLocalizationScenario(positions=[(0.0, 0.0)])
+
+    def test_samples_validation(self):
+        with pytest.raises(ValueError):
+            CsiLocalizationScenario().generate_dataset(
+                default_patterns()[0], 0, RNG
+            )

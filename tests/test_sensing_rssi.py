@@ -1,0 +1,130 @@
+"""Tests for the train and room RSSI scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.sensing import (
+    CongestionLevel,
+    RoomOccupancyScenario,
+    TrainScenario,
+)
+
+RNG = np.random.default_rng(31)
+
+
+class TestTrainScenario:
+    def _scenario(self, **kw):
+        return TrainScenario(**kw)
+
+    def test_reference_positions_cover_cars(self):
+        s = self._scenario(n_cars=4, refs_per_car=2)
+        refs = s.reference_positions()
+        assert len(refs) == 8
+        cars = {car for car, __ in refs.values()}
+        assert cars == {0, 1, 2, 3}
+
+    def test_car_of_x(self):
+        s = self._scenario(n_cars=3, car_length_m=20.0)
+        assert s.car_of_x(5.0) == 0
+        assert s.car_of_x(25.0) == 1
+        assert s.car_of_x(59.9) == 2
+        assert s.car_of_x(1000.0) == 2  # clipped
+
+    def test_same_car_rssi_stronger_than_far_car(self):
+        s = self._scenario(shadowing_sigma_db=0.0)
+        levels = [CongestionLevel.LOW] * s.n_cars
+        obs = s.generate(levels, participation=0.5, rng=np.random.default_rng(0))
+        refs = s.reference_positions()
+        # For each phone: its strongest reference should be in its car
+        # most of the time (no fading here).
+        hits = 0
+        for p, car in obs.phone_car.items():
+            best_ref = max(refs, key=lambda r: obs.ref_rssi[(p, r)])
+            hits += refs[best_ref][0] == car
+        assert hits / obs.n_phones > 0.9
+
+    def test_congestion_attenuates(self):
+        s = self._scenario(shadowing_sigma_db=0.0, n_cars=2)
+        rng = np.random.default_rng(1)
+        low = s.generate([CongestionLevel.LOW] * 2, 0.5, rng)
+        rng = np.random.default_rng(1)
+        high = s.generate([CongestionLevel.HIGH] * 2, 0.5, rng)
+        mean_low = np.mean(list(low.ref_rssi.values()))
+        mean_high = np.mean(list(high.ref_rssi.values()))
+        assert mean_high < mean_low
+
+    def test_observation_consistency(self):
+        s = self._scenario()
+        levels = s.random_levels(RNG)
+        obs = s.generate(levels, 0.4, RNG)
+        assert len(obs.car_levels) == s.n_cars
+        assert len(obs.car_occupancy) == s.n_cars
+        assert all(c >= 1 for c in obs.car_occupancy)
+        # every phone has RSSI to every reference node
+        refs = s.reference_positions()
+        for p in obs.phone_car:
+            for r in refs:
+                assert (p, r) in obs.ref_rssi
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainScenario(n_cars=1)
+        s = self._scenario(n_cars=3)
+        with pytest.raises(ValueError):
+            s.generate([CongestionLevel.LOW] * 2, 0.5, RNG)
+        with pytest.raises(ValueError):
+            s.generate([CongestionLevel.LOW] * 3, 0.0, RNG)
+
+    def test_random_levels_in_range(self):
+        s = self._scenario()
+        levels = s.random_levels(RNG)
+        assert len(levels) == s.n_cars
+        assert all(isinstance(l, CongestionLevel) for l in levels)
+
+
+class TestRoomScenario:
+    def _scenario(self, **kw):
+        return RoomOccupancyScenario(**kw)
+
+    def test_observation_fields(self):
+        s = self._scenario()
+        obs = s.observe(3, RNG)
+        assert obs.n_people == 3
+        assert obs.n_devices >= 0
+        assert len(obs.feature_vector()) == 4
+
+    def test_empty_room_baseline(self):
+        s = self._scenario()
+        obs = s.observe(0, RNG)
+        assert obs.n_devices == 0
+
+    def test_people_attenuate_inter_node(self):
+        s = self._scenario(shadowing_sigma_db=0.3)
+        def mean_inter(count, seed):
+            obs = s.observe(count, np.random.default_rng(seed))
+            return obs.round.mean_inter_node()
+        empty = np.mean([mean_inter(0, i) for i in range(5)])
+        crowded = np.mean([mean_inter(10, i) for i in range(5)])
+        assert crowded < empty - 2.0
+
+    def test_devices_raise_surrounding(self):
+        s = self._scenario()
+        quiet = s.observe(0, np.random.default_rng(2)).round.mean_surrounding()
+        busy = s.observe(10, np.random.default_rng(2)).round.mean_surrounding()
+        assert busy > quiet + 1.0
+
+    def test_dataset_balanced(self):
+        s = self._scenario(max_people=4)
+        data = s.generate_dataset(3, RNG)
+        counts = [o.n_people for o in data]
+        assert sorted(set(counts)) == [0, 1, 2, 3, 4]
+        assert len(data) == 5 * 3
+
+    def test_validation(self):
+        s = self._scenario(max_people=5)
+        with pytest.raises(ValueError):
+            s.observe(6, RNG)
+        with pytest.raises(ValueError):
+            s.generate_dataset(0, RNG)
+        with pytest.raises(ValueError):
+            RoomOccupancyScenario(max_people=0)

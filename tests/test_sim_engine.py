@@ -1,0 +1,188 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import EventQueue, Event, PeriodicProcess, SimulationError, Simulator, Timer
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        seen = []
+        q.push(Event(2.0, seen.append, (2,)))
+        q.push(Event(1.0, seen.append, (1,)))
+        q.push(Event(3.0, seen.append, (3,)))
+        while q:
+            q.pop().fire()
+        assert seen == [1, 2, 3]
+
+    def test_same_time_insertion_order(self):
+        q = EventQueue()
+        seen = []
+        for i in range(5):
+            q.push(Event(1.0, seen.append, (i,)))
+        while q:
+            q.pop().fire()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self):
+        q = EventQueue()
+        seen = []
+        q.push(Event(1.0, seen.append, ("low",), priority=5))
+        q.push(Event(1.0, seen.append, ("high",), priority=0))
+        while q:
+            q.pop().fire()
+        assert seen == ["high", "low"]
+
+    def test_cancel_skips_event(self):
+        q = EventQueue()
+        e1 = q.push(Event(1.0, lambda: None))
+        q.push(Event(2.0, lambda: None))
+        q.cancel(e1)
+        assert len(q) == 1
+        assert q.pop().time == 2.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        e = q.push(Event(1.0, lambda: None))
+        q.push(Event(5.0, lambda: None))
+        q.cancel(e)
+        assert q.peek_time() == 5.0
+
+
+class TestSimulator:
+    def test_time_advances_monotonically(self):
+        sim = Simulator()
+        times = []
+        for delay in [3.0, 1.0, 2.0]:
+            sim.schedule(delay, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        end = sim.run(until=5.0)
+        assert fired == ["a"]
+        assert end == 5.0
+        assert sim.pending == 1
+
+    def test_event_at_until_boundary_runs(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "edge")
+        sim.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(2.0, inner)
+
+        def inner():
+            seen.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        sim.run(max_events=4)
+        assert sim.processed == 4
+        assert sim.pending == 6
+
+    def test_reset(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending == 0
+        assert sim.processed == 0
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_at(12.5, fired.append, True)
+        sim.run()
+        assert sim.now == 12.5
+        assert fired == [True]
+
+
+class TestTimer:
+    def test_fires_once(self):
+        sim = Simulator()
+        hits = []
+        t = Timer(sim, lambda: hits.append(sim.now))
+        t.start(2.0)
+        sim.run()
+        assert hits == [2.0]
+        assert not t.armed
+
+    def test_restart_reschedules(self):
+        sim = Simulator()
+        hits = []
+        t = Timer(sim, lambda: hits.append(sim.now))
+        t.start(2.0)
+        sim.schedule(1.0, lambda: t.start(5.0))
+        sim.run()
+        assert hits == [6.0]
+
+    def test_stop_prevents_fire(self):
+        sim = Simulator()
+        hits = []
+        t = Timer(sim, lambda: hits.append(sim.now))
+        t.start(2.0)
+        t.stop()
+        sim.run()
+        assert hits == []
+
+
+class TestPeriodicProcess:
+    def test_runs_on_period(self):
+        sim = Simulator()
+        ticks = []
+        p = PeriodicProcess(sim, period=2.0, callback=lambda: ticks.append(sim.now))
+        p.start()
+        sim.run(until=7.0)
+        assert ticks == [0.0, 2.0, 4.0, 6.0]
+        assert p.invocations == 4
+
+    def test_start_offset(self):
+        sim = Simulator()
+        ticks = []
+        p = PeriodicProcess(
+            sim, period=3.0, callback=lambda: ticks.append(sim.now), start_offset=1.0
+        )
+        p.start()
+        sim.run(until=8.0)
+        assert ticks == [1.0, 4.0, 7.0]
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        p = PeriodicProcess(sim, period=1.0, callback=lambda: p.stop())
+        p.start()
+        sim.run(until=100.0)
+        assert p.invocations == 1
+        assert not p.running
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            PeriodicProcess(Simulator(), period=0.0, callback=lambda: None)
