@@ -13,6 +13,8 @@ central mechanism and its applications:
   backscatter-aware WLAN MAC protocol.
 - :mod:`repro.sensing` -- CSI and RSSI wireless-sensing simulators.
 - :mod:`repro.core` -- MicroDeep: distributed CNN execution on a WSN.
+- :mod:`repro.faults` -- deterministic fault injection: node crashes,
+  brownouts, link loss/corruption/duplication, resilient execution.
 - :mod:`repro.contexts` -- context-recognition applications.
 - :mod:`repro.datasets` -- synthetic dataset generators replacing the
   paper's private testbed data.
@@ -29,6 +31,7 @@ __all__ = [
     "backscatter",
     "sensing",
     "core",
+    "faults",
     "contexts",
     "datasets",
 ]

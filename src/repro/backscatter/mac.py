@@ -71,6 +71,8 @@ class CoexistenceResult:
     deadline_misses: int = 0
     backscatter_collisions: int = 0
     channel_errors: int = 0
+    injected_drops: int = 0        # lost to an injected link fault
+    duplicated_readings: int = 0   # duplicated by an injected link fault
     wlan_packets: int = 0
     dummy_packets: int = 0
     wlan_airtime_s: float = 0.0
@@ -109,6 +111,7 @@ class _MacBase:
         wlan: WlanTrafficModel,
         rng: np.random.Generator,
         channel_error: float = 0.05,
+        link_faults=None,
     ) -> None:
         if not devices:
             raise ValueError("need at least one device")
@@ -119,6 +122,9 @@ class _MacBase:
         self.wlan = wlan
         self.rng = rng
         self.channel_error = channel_error
+        self.link_faults = link_faults
+        if link_faults is not None:
+            link_faults.bind_clock(lambda: sim.now)
         self.result = CoexistenceResult()
         #: device_id -> generation time of the pending reading
         self.pending: Dict[int, float] = {}
@@ -158,6 +164,17 @@ class _MacBase:
 
     def _deliver(self, device_id: int) -> bool:
         """Attempt delivery over the backscatter channel."""
+        if self.link_faults is not None:
+            verdict = self.link_faults.transmit_verdict(
+                device_id, kind="backscatter"
+            )
+            if verdict == "drop":
+                self.result.injected_drops += 1
+                return False
+            if verdict == "duplicate":
+                # The reading arrives twice; the AP deduplicates, but
+                # the extra airtime is recorded.
+                self.result.duplicated_readings += 1
         if self.rng.random() < self.channel_error:
             self.result.channel_errors += 1
             return False
@@ -193,8 +210,9 @@ class ScheduledBackscatterMac(_MacBase):
         rng: np.random.Generator,
         channel_error: float = 0.05,
         max_wait_fraction: float = 0.25,
+        link_faults=None,
     ) -> None:
-        super().__init__(sim, devices, wlan, rng, channel_error)
+        super().__init__(sim, devices, wlan, rng, channel_error, link_faults)
         if not 0.0 < max_wait_fraction <= 1.0:
             raise ValueError(
                 f"max_wait_fraction must be in (0, 1], got {max_wait_fraction}"
@@ -250,8 +268,9 @@ class ContentionBackscatterMac(_MacBase):
         rng: np.random.Generator,
         channel_error: float = 0.05,
         attempt_probability: float = 1.0,
+        link_faults=None,
     ) -> None:
-        super().__init__(sim, devices, wlan, rng, channel_error)
+        super().__init__(sim, devices, wlan, rng, channel_error, link_faults)
         if not 0.0 < attempt_probability <= 1.0:
             raise ValueError(
                 f"attempt_probability must be in (0, 1], got {attempt_probability}"

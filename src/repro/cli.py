@@ -5,10 +5,13 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run quickstart
     python -m repro.cli info
+    python -m repro.cli faults run --loss 0.2 --crashes 2
 
 ``run`` executes the named example script from the installed
 repository's ``examples/`` directory (development layout) so users can
-explore the scenarios without locating the files.
+explore the scenarios without locating the files.  ``faults run``
+drives a MicroDeep inference through the fault-injection layer and
+reports the trace.
 """
 
 from __future__ import annotations
@@ -41,6 +44,8 @@ EXAMPLES: Dict[str, tuple] = {
     "hvac": ("autonomous_hvac.py", "(vi) closed-loop comfort control"),
     "planner": ("design_support_planner.py",
                 "auto-generated collection schedules"),
+    "faultdemo": ("fault_injection_demo.py",
+                  "fault injection: crashes, loss, degraded inference"),
 }
 
 
@@ -88,6 +93,45 @@ def cmd_run(name: str) -> int:
     return 0
 
 
+def cmd_faults_run(args) -> int:
+    """Run one fault-injected inference and report the trace."""
+    import numpy as np
+
+    from repro.faults import FaultPlan, demo_scenario, inject
+
+    print(f"building demo scenario (seed {args.seed}) ...")
+    scenario, (x, y) = demo_scenario(seed=args.seed)
+    baseline = inject(scenario, FaultPlan(seed=args.seed))
+    clean_acc = baseline.accuracy(x, y, chunks=2)
+
+    plan = FaultPlan(
+        seed=args.seed,
+        loss_rate=args.loss,
+        corrupt_rate=args.corrupt,
+        duplicate_rate=args.duplicate,
+    )
+    node_ids = sorted(scenario.topology.nodes)
+    rng = np.random.default_rng(args.seed)
+    for node in rng.choice(node_ids, size=min(args.crashes, len(node_ids)),
+                           replace=False):
+        plan.crash(0.0, int(node))
+    run = inject(scenario, plan)
+    acc = run.accuracy(x, y, chunks=2)
+
+    print(f"\nfault plan: loss={args.loss:.0%} corrupt={args.corrupt:.0%} "
+          f"duplicate={args.duplicate:.0%} crashes={args.crashes}")
+    print(f"accuracy: {clean_acc:.3f} clean -> {acc:.3f} degraded "
+          f"(no hang: {run.executor.inferences} inferences completed, "
+          f"virtual time {run.sim.now:.3f}s)")
+    print("\ntrace summary (kind: count):")
+    for kind, count in run.trace.summary().items():
+        print(f"  {kind:26s} {count:5d}")
+    if args.trace:
+        Path(args.trace).write_text(run.trace.to_jsonl() + "\n")
+        print(f"\nfull trace ({len(run.trace)} records) written to {args.trace}")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """Argument parsing and dispatch; returns the exit code."""
     parser = argparse.ArgumentParser(
@@ -98,11 +142,33 @@ def main(argv: Optional[list] = None) -> int:
     sub.add_parser("info", help="package and layout information")
     run_parser = sub.add_parser("run", help="run one example scenario")
     run_parser.add_argument("name", help="example name (see 'list')")
+    faults_parser = sub.add_parser(
+        "faults", help="fault-injection utilities"
+    )
+    faults_sub = faults_parser.add_subparsers(dest="faults_command",
+                                              required=True)
+    faults_run = faults_sub.add_parser(
+        "run", help="inject faults into a demo MicroDeep inference"
+    )
+    faults_run.add_argument("--loss", type=float, default=0.2,
+                            help="per-hop packet loss rate (default 0.2)")
+    faults_run.add_argument("--corrupt", type=float, default=0.0,
+                            help="per-hop corruption rate (default 0)")
+    faults_run.add_argument("--duplicate", type=float, default=0.0,
+                            help="per-hop duplication rate (default 0)")
+    faults_run.add_argument("--crashes", type=int, default=2,
+                            help="nodes crashed at t=0 (default 2)")
+    faults_run.add_argument("--seed", type=int, default=0,
+                            help="root seed for all fault draws")
+    faults_run.add_argument("--trace", default=None, metavar="PATH",
+                            help="write the full JSONL trace to PATH")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
     if args.command == "info":
         return cmd_info()
+    if args.command == "faults":
+        return cmd_faults_run(args)
     return cmd_run(args.name)
 
 

@@ -10,7 +10,7 @@ experiment (E8) quantifies.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Set
+from typing import Callable, Iterable, Optional, Set
 
 import numpy as np
 
@@ -83,6 +83,33 @@ class DistributedExecutor:
         return self._cost_model.inference_cost(self.placement)
 
     # -- fault injection ----------------------------------------------------
+    def forward_hooked(
+        self,
+        x: np.ndarray,
+        input_hook: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        layer_hook: Optional[Callable] = None,
+    ) -> np.ndarray:
+        """Layer-by-layer forward pass with substitution hooks.
+
+        This is the executor-side choke point the fault layer plugs
+        into: ``input_hook(x)`` may rewrite the (copied) input field,
+        and ``layer_hook(entry, out)`` runs after every unit-graph
+        layer and may rewrite (or replace) its activations — e.g. to
+        zero dead units or substitute stale values.  Flatten layers,
+        which move no data, are not hooked.
+        """
+        x = np.array(x, copy=True)
+        if input_hook is not None:
+            x = input_hook(x)
+        out = x
+        for entry in self.graph.layers:
+            out = entry.layer.forward(out, training=False)
+            if layer_hook is not None and entry.kind != "flatten":
+                replacement = layer_hook(entry, out)
+                if replacement is not None:
+                    out = replacement
+        return out
+
     def forward_masked(
         self, x: np.ndarray, dead_nodes: Iterable[int]
     ) -> np.ndarray:
@@ -96,14 +123,14 @@ class DistributedExecutor:
         dead: Set[int] = set(dead_nodes)
         if not dead:
             return self.model.forward(x, training=False)
-        x = np.array(x, copy=True)
-        h, w = self.graph.input_hw
-        for (iy, ix), node in self.placement.input_node.items():
-            if node in dead:
-                x[:, :, iy, ix] = 0.0
-        out = x
-        for entry in self.graph.layers:
-            out = entry.layer.forward(out, training=False)
+
+        def input_hook(arr: np.ndarray) -> np.ndarray:
+            for (iy, ix), node in self.placement.input_node.items():
+                if node in dead:
+                    arr[:, :, iy, ix] = 0.0
+            return arr
+
+        def layer_hook(entry, out: np.ndarray):
             if entry.kind == "spatial":
                 for pos in entry.output_positions():
                     if self.placement.node_of(entry.index, pos) in dead:
@@ -112,7 +139,10 @@ class DistributedExecutor:
                 for unit in entry.output_positions():
                     if self.placement.node_of(entry.index, unit) in dead:
                         out[:, unit] = 0.0
-        return out
+            return out
+
+        return self.forward_hooked(x, input_hook=input_hook,
+                                   layer_hook=layer_hook)
 
     def accuracy_under_faults(
         self,

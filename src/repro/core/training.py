@@ -40,6 +40,13 @@ class MicroDeepTrainer:
         optimizer: update rule.
         update_mode: ``"exact"`` or ``"local"`` (see module docstring).
         loss: defaults to softmax cross-entropy.
+        fault_adapter: optional fault-layer bridge (see
+            :class:`repro.faults.TrainingFaultAdapter`): nodes it
+            reports down skip their local backward contribution — a
+            crashed node can neither compute nor apply its updates —
+            and each skip is reported back.  Requires ``"local"``
+            updates (exact backprop has no per-node structure to
+            degrade).
     """
 
     def __init__(
@@ -49,10 +56,15 @@ class MicroDeepTrainer:
         optimizer: Optimizer,
         update_mode: str = "local",
         loss: Optional[CrossEntropyLoss] = None,
+        fault_adapter=None,
     ) -> None:
         if update_mode not in ("exact", "local"):
             raise ValueError(
                 f"update_mode must be 'exact' or 'local', got {update_mode!r}"
+            )
+        if fault_adapter is not None and update_mode != "local":
+            raise ValueError(
+                "fault-aware training requires update_mode='local'"
             )
         self.graph = graph
         self.model = graph.model
@@ -60,6 +72,7 @@ class MicroDeepTrainer:
         self.optimizer = optimizer
         self.update_mode = update_mode
         self.loss = loss if loss is not None else CrossEntropyLoss()
+        self.fault_adapter = fault_adapter
         self._masks = self._build_masks() if update_mode == "local" else None
 
     # -- mask construction ---------------------------------------------------
@@ -148,6 +161,11 @@ class MicroDeepTrainer:
         if self.update_mode == "exact":
             self.model.backward(grad)
             return
+        down = (
+            self.fault_adapter.down_nodes()
+            if self.fault_adapter is not None
+            else None
+        )
         for entry in reversed(self.graph.layers):
             layer = entry.layer
             if entry.kind == "flatten" or layer.is_elementwise:
@@ -156,9 +174,16 @@ class MicroDeepTrainer:
             per_node = self._masks[entry.index]
             total = None
             for node, (out_mask, in_mask) in per_node.items():
+                if down and node in down:
+                    self.fault_adapter.on_update_skipped(entry.index, node)
+                    continue
                 grad_in = layer.backward(grad * out_mask)
                 contribution = grad_in * in_mask
                 total = contribution if total is None else total + contribution
+            if total is None:
+                # Every host of this layer is down: no gradient flows
+                # further back, but the pass still completes.
+                total = layer.backward(grad * 0.0)
             grad = total
 
     # -- training loop ---------------------------------------------------------

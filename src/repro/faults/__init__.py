@@ -1,0 +1,65 @@
+"""Deterministic fault injection for the distributed MicroDeep stack.
+
+The paper's setting is lossy, zero-energy hardware, so the happy path
+is the exception: this package provides a seedable fault model that
+plugs into the stack at three choke points —
+
+- the :mod:`repro.sim` engine: a :class:`FaultPlan` schedules node
+  crash/recover, energy brownout, and clock-drift events that fire as
+  virtual time advances;
+- the :mod:`repro.wsn` radio/MAC/network layer: a
+  :class:`LinkFaultModel` draws per-transmission packet-loss,
+  corruption, and duplication verdicts (the backscatter MAC consults
+  the same model);
+- the :mod:`repro.core` executor: :class:`ResilientExecutor` adds a
+  timeout + bounded-retry + stale-activation fallback so inference
+  completes with degraded accuracy instead of hanging.
+
+Everything injected and every degradation decision taken lands in a
+:class:`FaultTrace`, whose canonical serialization is byte-identical
+for a fixed plan + seed.  Entry point::
+
+    scenario, (x, y) = demo_scenario(seed=0)
+    plan = FaultPlan(seed=1, loss_rate=0.2).crash(0.0, 3).crash(0.0, 7)
+    run = inject(scenario, plan)
+    logits = run.infer(x)
+    print(run.trace.summary())
+"""
+
+from repro.faults.links import LinkFaultModel, degraded_radio
+from repro.faults.plan import EVENT_KINDS, FaultEvent, FaultPlan
+from repro.faults.runtime import (
+    NodeStateTracker,
+    ResilientExecutor,
+    RetryPolicy,
+    TrainingFaultAdapter,
+    schedule_plan,
+)
+from repro.faults.scenario import (
+    FaultInjection,
+    FaultScenario,
+    demo_scenario,
+    inject,
+    toy_field_task,
+)
+from repro.faults.trace import FaultTrace, TraceRecord
+
+__all__ = [
+    "EVENT_KINDS",
+    "FaultEvent",
+    "FaultInjection",
+    "FaultPlan",
+    "FaultScenario",
+    "FaultTrace",
+    "LinkFaultModel",
+    "NodeStateTracker",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "TraceRecord",
+    "TrainingFaultAdapter",
+    "degraded_radio",
+    "demo_scenario",
+    "inject",
+    "schedule_plan",
+    "toy_field_task",
+]

@@ -1,0 +1,123 @@
+"""Link-level fault models for the WSN and backscatter paths.
+
+:class:`LinkFaultModel` makes one seeded draw per transmission and
+returns a verdict — ``"deliver"``, ``"drop"``, ``"corrupt"`` or
+``"duplicate"`` — which the network/MAC choke points
+(:class:`repro.wsn.Network`, :class:`repro.wsn.TdmaMac` /
+:class:`repro.wsn.CsmaMac`, and :class:`repro.backscatter.mac._MacBase`)
+consult when a ``link_faults`` object is attached.  Every non-deliver
+verdict is recorded in the :class:`~repro.faults.trace.FaultTrace`.
+
+:func:`degraded_radio` builds a :class:`repro.wsn.RadioModel` whose
+SNR is depressed by an interference margin — the radio-layer knob for
+modelling a jammed or brownout-starved receiver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.faults.trace import FaultTrace
+from repro.wsn.radio import RadioModel
+
+#: Verdicts a link fault model can return.
+VERDICTS = ("deliver", "drop", "corrupt", "duplicate")
+
+
+class LinkFaultModel:
+    """Deterministic per-transmission fault draws.
+
+    Args:
+        loss_rate: probability a transmission is dropped outright.
+        corrupt_rate: probability it arrives unusable (airtime paid).
+        duplicate_rate: probability it is delivered twice.
+        seed: RNG seed; the draw sequence is a pure function of it.
+        trace: optional trace that non-deliver verdicts are logged to.
+        clock: callable returning the current virtual time for trace
+            timestamps; a draw counter is used when absent.
+    """
+
+    def __init__(
+        self,
+        loss_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        seed: int = 0,
+        trace: Optional[FaultTrace] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        for name, rate in (
+            ("loss_rate", loss_rate),
+            ("corrupt_rate", corrupt_rate),
+            ("duplicate_rate", duplicate_rate),
+        ):
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {rate}")
+        if loss_rate + corrupt_rate + duplicate_rate >= 1.0:
+            raise ValueError("fault rates must sum below 1")
+        self.loss_rate = loss_rate
+        self.corrupt_rate = corrupt_rate
+        self.duplicate_rate = duplicate_rate
+        self.seed = seed
+        self.trace = trace
+        self._clock = clock
+        self._rng = np.random.default_rng(seed)
+        self.draws = 0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach a virtual-time source after construction (the MACs
+        bind their simulator's clock here)."""
+        self._clock = clock
+
+    def _now(self) -> float:
+        return float(self._clock()) if self._clock is not None else float(self.draws)
+
+    def verdict(self, src: int, dst: int, kind: str = "data") -> str:
+        """Draw one verdict for a transmission ``src -> dst``."""
+        self.draws += 1
+        u = float(self._rng.random())
+        if u < self.loss_rate:
+            outcome = "drop"
+        elif u < self.loss_rate + self.corrupt_rate:
+            outcome = "corrupt"
+        elif u < self.loss_rate + self.corrupt_rate + self.duplicate_rate:
+            outcome = "duplicate"
+        else:
+            outcome = "deliver"
+        if outcome != "deliver" and self.trace is not None:
+            self.trace.record(
+                self._now(), f"link.{outcome}", src=src, dst=dst, msg=kind
+            )
+        return outcome
+
+    # Alias used by the per-hop network choke point.
+    def hop_verdict(self, hop_src: int, hop_dst: int, kind: str = "data") -> str:
+        return self.verdict(hop_src, hop_dst, kind=kind)
+
+    def transmit_verdict(self, node_id: int, kind: str = "mac") -> str:
+        """Single-transmitter draw for the MAC choke points; corruption
+        counts as a drop at MAC granularity (the frame check fails)."""
+        outcome = self.verdict(node_id, -1, kind=kind)
+        return "drop" if outcome == "corrupt" else outcome
+
+
+def degraded_radio(
+    radio: RadioModel, interference_db: float
+) -> RadioModel:
+    """A copy of ``radio`` with ``interference_db`` of extra noise
+    margin — its PER rises accordingly at every distance."""
+    if interference_db < 0:
+        raise ValueError(
+            f"interference_db must be >= 0, got {interference_db}"
+        )
+    degraded = RadioModel(
+        tx_power_dbm=radio.tx_power_dbm,
+        path_loss=radio.path_loss,
+        fading=radio.fading,
+        interference_db=radio.interference_db + interference_db,
+    )
+    # Preserve the exact noise floor instead of re-deriving it.
+    degraded.noise_floor_dbm = radio.noise_floor_dbm
+    return degraded

@@ -46,6 +46,11 @@ class Simulator:
         """Number of events executed so far."""
         return self._processed
 
+    @property
+    def running(self) -> bool:
+        """True while :meth:`run` is executing events."""
+        return self._running
+
     def schedule(
         self,
         delay: float,
@@ -116,9 +121,21 @@ class Simulator:
         Events scheduled exactly at ``until`` still run; events strictly
         later are left in the queue and the clock advances to ``until``.
 
+        A handler that raises leaves the engine resumable: the failing
+        event is consumed, the clock and queue stay consistent, and a
+        subsequent :meth:`run` continues with the remaining events.
+
         Returns:
             The virtual time when the run stopped.
+
+        Raises:
+            SimulationError: when called re-entrantly from a handler
+                (which would corrupt the run state).
         """
+        if self._running:
+            raise SimulationError(
+                "run() called re-entrantly from an event handler"
+            )
         executed = 0
         self._running = True
         try:

@@ -24,6 +24,8 @@ class MacStats:
     attempted: int = 0
     delivered: int = 0
     collided: int = 0
+    dropped: int = 0     # lost to an injected link fault
+    duplicated: int = 0  # delivered twice by an injected link fault
 
     @property
     def delivery_ratio(self) -> float:
@@ -43,6 +45,7 @@ class TdmaMac:
         node_ids: List[int],
         slot_duration: float,
         on_delivery: Optional[Callable[[int, object], None]] = None,
+        link_faults=None,
     ) -> None:
         if not node_ids:
             raise ValueError("need at least one node")
@@ -52,6 +55,9 @@ class TdmaMac:
         self.node_ids = list(node_ids)
         self.slot_duration = slot_duration
         self.on_delivery = on_delivery
+        self.link_faults = link_faults
+        if link_faults is not None:
+            link_faults.bind_clock(lambda: sim.now)
         self.queues: Dict[int, List[object]] = {n: [] for n in node_ids}
         self.stats = MacStats()
         self._slot_index = 0
@@ -80,10 +86,25 @@ class TdmaMac:
         if queue:
             packet = queue.pop(0)
             self.stats.attempted += 1
-            self.stats.delivered += 1  # TDMA slots never collide
-            if self.on_delivery is not None:
-                self.on_delivery(owner, packet)
+            self._transmit(owner, packet)
         self.sim.schedule(self.slot_duration, self._slot)
+
+    def _transmit(self, owner: int, packet: object) -> None:
+        """TDMA slots never collide; only injected faults can lose or
+        duplicate a transmission."""
+        verdict = "deliver"
+        if self.link_faults is not None:
+            verdict = self.link_faults.transmit_verdict(owner, kind="tdma")
+        if verdict == "drop":
+            self.stats.dropped += 1
+            return
+        deliveries = 2 if verdict == "duplicate" else 1
+        if verdict == "duplicate":
+            self.stats.duplicated += 1
+        self.stats.delivered += 1
+        if self.on_delivery is not None:
+            for __ in range(deliveries):
+                self.on_delivery(owner, packet)
 
 
 class CsmaMac:
@@ -102,6 +123,7 @@ class CsmaMac:
         max_backoff_exponent: int = 5,
         max_attempts: int = 7,
         on_delivery: Optional[Callable[[int, object], None]] = None,
+        link_faults=None,
     ) -> None:
         if slot_duration <= 0:
             raise ValueError(f"slot_duration must be positive, got {slot_duration}")
@@ -111,6 +133,9 @@ class CsmaMac:
         self.max_backoff_exponent = max_backoff_exponent
         self.max_attempts = max_attempts
         self.on_delivery = on_delivery
+        self.link_faults = link_faults
+        if link_faults is not None:
+            link_faults.bind_clock(lambda: sim.now)
         self.stats = MacStats()
         #: packets contending in the current slot: list of (node, packet, attempt)
         self._current_slot_tx: List[tuple] = []
@@ -146,10 +171,24 @@ class CsmaMac:
             return
         self.stats.attempted += len(contenders)
         if len(contenders) == 1:
-            node_id, packet, __ = contenders[0]
+            node_id, packet, attempt = contenders[0]
+            verdict = "deliver"
+            if self.link_faults is not None:
+                verdict = self.link_faults.transmit_verdict(node_id, kind="csma")
+            if verdict == "drop":
+                # An injected loss looks like a collision to the
+                # sender: it backs off and retries.
+                self.stats.dropped += 1
+                if attempt + 1 < self.max_attempts:
+                    self.offer(node_id, packet, attempt + 1)
+                return
+            deliveries = 2 if verdict == "duplicate" else 1
+            if verdict == "duplicate":
+                self.stats.duplicated += 1
             self.stats.delivered += 1
             if self.on_delivery is not None:
-                self.on_delivery(node_id, packet)
+                for __ in range(deliveries):
+                    self.on_delivery(node_id, packet)
             return
         self.stats.collided += len(contenders)
         for node_id, packet, attempt in contenders:

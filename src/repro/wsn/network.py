@@ -35,6 +35,8 @@ class TrafficStats:
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
+    corrupted: int = 0
+    duplicated: int = 0
     total_hops: int = 0
     per_node_rx_values: Dict[int, int] = field(default_factory=dict)
     per_node_tx_values: Dict[int, int] = field(default_factory=dict)
@@ -56,6 +58,11 @@ class Network:
         loss_probability: per-hop drop probability (0 = ideal links);
             retransmissions are modelled by ``max_retries``.
         rng: randomness source for losses; required when lossy.
+        link_faults: optional fault model (see
+            :class:`repro.faults.LinkFaultModel`) consulted once per
+            hop; it may drop the hop, corrupt the message (airtime is
+            paid but delivery fails), or duplicate it (the receiving
+            side of the hop pays twice).
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class Network:
         loss_probability: float = 0.0,
         max_retries: int = 3,
         rng: Optional[np.random.Generator] = None,
+        link_faults=None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError(
@@ -75,6 +83,7 @@ class Network:
         self.loss_probability = loss_probability
         self.max_retries = max_retries
         self._rng = rng
+        self.link_faults = link_faults
         self.stats = TrafficStats()
 
     def reset_stats(self) -> None:
@@ -103,23 +112,45 @@ class Network:
         if route is None:
             self.stats.dropped += 1
             return False
+        corrupted = False
         for hop_src, hop_dst in zip(route, route[1:]):
+            verdict = "deliver"
+            if self.link_faults is not None:
+                verdict = self.link_faults.hop_verdict(
+                    hop_src, hop_dst, message.kind
+                )
+            if verdict == "drop":
+                self.stats.dropped += 1
+                return False
             if not self._hop_succeeds():
                 self.stats.dropped += 1
                 return False
+            repeats = 2 if verdict == "duplicate" else 1
+            if verdict == "duplicate":
+                self.stats.duplicated += 1
+            if verdict == "corrupt":
+                corrupted = True
             src_node = self.topology.node(hop_src)
             dst_node = self.topology.node(hop_dst)
-            src_node.tx_count += 1
-            src_node.tx_values += message.n_values
-            dst_node.rx_count += 1
-            dst_node.rx_values += message.n_values
-            self.stats.per_node_tx_values[hop_src] = (
-                self.stats.per_node_tx_values.get(hop_src, 0) + message.n_values
-            )
-            self.stats.per_node_rx_values[hop_dst] = (
-                self.stats.per_node_rx_values.get(hop_dst, 0) + message.n_values
-            )
-            self.stats.total_hops += 1
+            for __ in range(repeats):
+                src_node.tx_count += 1
+                src_node.tx_values += message.n_values
+                dst_node.rx_count += 1
+                dst_node.rx_values += message.n_values
+                self.stats.per_node_tx_values[hop_src] = (
+                    self.stats.per_node_tx_values.get(hop_src, 0)
+                    + message.n_values
+                )
+                self.stats.per_node_rx_values[hop_dst] = (
+                    self.stats.per_node_rx_values.get(hop_dst, 0)
+                    + message.n_values
+                )
+                self.stats.total_hops += 1
+        if corrupted:
+            # Airtime was paid on every hop, but the payload fails its
+            # integrity check at the destination.
+            self.stats.corrupted += 1
+            return False
         self.stats.delivered += 1
         return True
 

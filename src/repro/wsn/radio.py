@@ -74,6 +74,8 @@ class RadioModel:
         fading: small-scale/shadowing model.
         noise_figure_db: receiver noise figure.
         bandwidth_hz: receiver bandwidth (sets the noise floor).
+        interference_db: extra SNR penalty, the fault layer's knob for
+            jamming / brownout-starved receivers (0 = clean channel).
     """
 
     def __init__(
@@ -83,10 +85,16 @@ class RadioModel:
         fading: FadingModel = None,
         noise_figure_db: float = 6.0,
         bandwidth_hz: float = 2e6,
+        interference_db: float = 0.0,
     ) -> None:
+        if interference_db < 0:
+            raise ValueError(
+                f"interference_db must be >= 0, got {interference_db}"
+            )
         self.tx_power_dbm = tx_power_dbm
         self.path_loss = path_loss if path_loss is not None else LogDistancePathLoss()
         self.fading = fading if fading is not None else FadingModel()
+        self.interference_db = interference_db
         self.noise_floor_dbm = (
             BOLTZMANN_DBM + 10.0 * math.log10(bandwidth_hz) + noise_figure_db
         )
@@ -100,7 +108,7 @@ class RadioModel:
         return self.mean_rssi_dbm(distance_m) + self.fading.sample_db(rng)
 
     def snr_db(self, rssi_dbm: float) -> float:
-        return rssi_dbm - self.noise_floor_dbm
+        return rssi_dbm - self.noise_floor_dbm - self.interference_db
 
     def packet_error_rate(
         self, distance_m: float, payload_bits: int, rng: np.random.Generator

@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "design_support_planner.py",
     "athlete_body_sensing.py",
     "wildlife_and_slope_watch.py",
+    "fault_injection_demo.py",
 ]
 
 

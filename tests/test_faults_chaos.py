@@ -1,0 +1,161 @@
+"""Chaos/property tests for the fault-injection layer.
+
+For a set of fixed seeds the suite asserts the system-level
+invariants the paper's setting demands:
+
+- the resilient executor **never deadlocks**: every inference
+  completes, and retry counts respect the bounded-retry policy;
+- **virtual time stays monotonic** across all injected fault events
+  and degradation decisions;
+- **accuracy degrades gracefully**: monotonically (within a tolerance
+  that absorbs sampling noise) as the packet-loss rate rises from
+  0 to 0.5, and the clean run is never beaten by a faulty one by more
+  than the tolerance.
+
+The default seed set is small enough for tier-1; set
+``REPRO_CHAOS_SWEEP=1`` to run the larger opt-in sweep
+(``pytest -m chaos_sweep``).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, RetryPolicy, demo_scenario, inject
+
+CHAOS_SEEDS = [0, 1, 2, 3, 4]
+SWEEP_SEEDS = list(range(5, 25))
+LOSS_RATES = [0.0, 0.15, 0.3, 0.5]
+#: Accuracy may wiggle up between adjacent loss rates by at most this
+#: much.  The slack is wide because each plan also crashes a node: when
+#: the crash hits a load-bearing unit the whole curve sits near chance,
+#: where independent fault draws on a finite test set wiggle hard.
+MONOTONE_TOLERANCE = 0.25
+#: Endpoint slack: loss 0.5 must not beat loss 0.0 by more than this.
+EXTREMES_TOLERANCE = 0.05
+
+
+@pytest.fixture(scope="module")
+def trained():
+    scenario, (x, y) = demo_scenario(seed=0)
+    return scenario, x, y
+
+
+def run_chaos_seed(trained, seed: int) -> None:
+    scenario, x, y = trained
+    node_ids = sorted(scenario.topology.nodes)
+    policy = RetryPolicy(max_retries=2)
+    accuracies = []
+    for loss in LOSS_RATES:
+        plan = FaultPlan.random(
+            seed=seed,
+            node_ids=node_ids,
+            horizon=0.5,
+            loss_rate=loss,
+            n_crashes=1,
+            n_brownouts=1,
+        )
+        run = inject(scenario, plan, policy=policy)
+        acc = run.accuracy(x, y, chunks=4)
+        accuracies.append(acc)
+
+        # No deadlock: all inferences completed and the run's virtual
+        # time advanced by a bounded amount.
+        assert run.executor.inferences == 4
+        assert np.isfinite(run.sim.now)
+        ends = run.trace.of_kind("exec.done")
+        assert len(ends) == 4
+
+        # Virtual time is monotonic across every recorded event.
+        assert run.trace.is_time_monotonic()
+
+        # Bounded retries: no transfer ever exceeded the policy.
+        for record in run.trace.of_kind("degrade.transfer-failed"):
+            assert record.detail["attempts"] <= policy.max_retries + 1
+        for record in run.trace.of_kind("retry.recovered"):
+            assert record.detail["attempts"] <= policy.max_retries + 1
+
+        # Every scheduled crash either fired or lies beyond the run.
+        for record in run.trace.of_kind("fault.crash"):
+            assert record.time <= run.sim.now
+
+    # Graceful degradation: within tolerance, accuracy is monotone
+    # non-increasing in the loss rate, and the extremes are ordered.
+    for lower, higher in zip(accuracies, accuracies[1:]):
+        assert higher <= lower + MONOTONE_TOLERANCE, (
+            f"seed {seed}: accuracy rose from {lower:.3f} to {higher:.3f} "
+            f"as loss increased (rates {LOSS_RATES}, accs {accuracies})"
+        )
+    assert accuracies[-1] <= accuracies[0] + EXTREMES_TOLERANCE
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_chaos_invariants(trained, seed):
+    run_chaos_seed(trained, seed)
+
+
+@pytest.mark.chaos
+def test_clean_plan_is_lossless(trained):
+    """A plan with no faults must reproduce the fault-free accuracy."""
+    scenario, x, y = trained
+    from repro.core import DistributedExecutor
+    from repro.wsn import Network
+
+    run = inject(scenario, FaultPlan(seed=0))
+    baseline = DistributedExecutor(
+        scenario.model, scenario.graph, scenario.placement,
+        Network(scenario.topology),
+    )
+    expected = float(
+        (baseline.predict(x) == np.asarray(y)).mean()
+    )
+    assert run.accuracy(x, y, chunks=4) == pytest.approx(expected)
+    assert len(run.trace.of_kind("degrade")) == 0
+    assert len(run.trace.of_kind("link")) == 0
+
+
+@pytest.mark.chaos
+def test_acceptance_scenario_20pct_loss_2_crashes(trained):
+    """The PR's acceptance scenario: 20 % loss + 2 crashed nodes runs
+    to completion and the trace lists every fault and fallback."""
+    scenario, x, y = trained
+    plan = FaultPlan(seed=11, loss_rate=0.2).crash(0.0, 2).crash(0.0, 6)
+    run = inject(scenario, plan)
+    logits = run.infer(x)
+    assert logits.shape == (len(x), 2)
+    assert np.all(np.isfinite(logits))
+    summary = run.trace.summary()
+    assert summary.get("fault.crash") == 2
+    assert len(run.trace.of_kind("link.drop")) > 0
+    # Fallbacks were taken and recorded (crashed hosts force them).
+    assert len(run.trace.of_kind("degrade")) > 0
+    assert run.trace.is_time_monotonic()
+
+
+@pytest.mark.chaos
+def test_recovery_restores_accuracy(trained):
+    """After a brownout ends, a later inference sees the full mesh."""
+    scenario, x, y = trained
+    plan = FaultPlan(seed=3).brownout(0.0, 4, duration=10.0)
+    run = inject(scenario, plan)
+    run.infer(x[:8])  # degraded: node 4 is down
+    assert 4 in run.tracker.down_nodes()
+    run.sim.run(until=20.0)  # let the brownout end
+    assert 4 not in run.tracker.down_nodes()
+    degraded_before = len(run.trace.of_kind("degrade"))
+    run.infer(x[:8])
+    # The recovered mesh adds no new degradation decisions.
+    assert len(run.trace.of_kind("degrade")) == degraded_before
+
+
+@pytest.mark.chaos
+@pytest.mark.chaos_sweep
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_CHAOS_SWEEP"),
+    reason="large chaos sweep is opt-in (REPRO_CHAOS_SWEEP=1)",
+)
+@pytest.mark.parametrize("seed", SWEEP_SEEDS)
+def test_chaos_sweep(trained, seed):
+    run_chaos_seed(trained, seed)

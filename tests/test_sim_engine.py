@@ -126,6 +126,78 @@ class TestSimulator:
         assert fired == [True]
 
 
+class TestSimulatorFaultSafety:
+    """Handler exceptions and re-entrancy must leave the engine in a
+    resumable state (the fault layer leans on this)."""
+
+    def test_handler_exception_propagates(self):
+        sim = Simulator()
+        sim.schedule(1.0, self._boom)
+        with pytest.raises(RuntimeError, match="handler failed"):
+            sim.run()
+
+    def test_resumable_after_handler_exception(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "before")
+        sim.schedule(2.0, self._boom)
+        sim.schedule(3.0, fired.append, "after")
+        with pytest.raises(RuntimeError):
+            sim.run()
+        # The failing event is consumed; the engine is not stuck
+        # "running" and the remaining events are still scheduled.
+        assert not sim.running
+        assert sim.now == 2.0
+        assert sim.pending == 1
+        end = sim.run()
+        assert fired == ["before", "after"]
+        assert end == 3.0
+        assert not sim.running
+
+    def test_running_property_during_run(self):
+        sim = Simulator()
+        observed = []
+        sim.schedule(1.0, lambda: observed.append(sim.running))
+        assert not sim.running
+        sim.run()
+        assert observed == [True]
+        assert not sim.running
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        sim.schedule(1.0, reenter)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert len(errors) == 1
+        assert "re-entrant" in errors[0]
+        # The outer run still completed every event.
+        assert sim.pending == 0
+        assert sim.now == 2.0
+
+    def test_schedule_still_works_after_exception(self):
+        sim = Simulator()
+        sim.schedule(1.0, self._boom)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        fired = []
+        sim.schedule(1.0, fired.append, True)
+        sim.run()
+        assert fired == [True]
+        assert sim.now == 2.0
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("handler failed")
+
+
 class TestTimer:
     def test_fires_once(self):
         sim = Simulator()
