@@ -6,12 +6,14 @@ Usage::
     python -m repro.cli run quickstart
     python -m repro.cli info
     python -m repro.cli faults run --loss 0.2 --crashes 2
+    python -m repro.cli bench --quick --against BENCH_perf.json
 
 ``run`` executes the named example script from the installed
 repository's ``examples/`` directory (development layout) so users can
 explore the scenarios without locating the files.  ``faults run``
 drives a MicroDeep inference through the fault-injection layer and
-reports the trace.
+reports the trace.  ``bench`` runs the performance suite, writes the
+schema-versioned report, and can gate against a previous one.
 """
 
 from __future__ import annotations
@@ -132,6 +134,69 @@ def cmd_faults_run(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the perf suite, write the report, optionally gate."""
+    import json
+
+    from repro.perf import compare_reports, run_suite, validate_report
+
+    mode = "quick" if args.quick else "full"
+    print(f"running {mode} benchmark suite (seed {args.seed}) ...")
+    report = run_suite(quick=args.quick, seed=args.seed)
+    errors = validate_report(report)
+    if errors:  # pragma: no cover - suite always emits valid reports
+        for err in errors:
+            print(f"internal error: {err}", file=sys.stderr)
+        return 1
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"report written to {out}\n")
+    print(f"{'benchmark':28s} {'best':>10s} {'mean':>10s} {'speedup':>8s}")
+    for bench in report["benchmarks"]:
+        timing = bench["timing"]
+        speedup = bench.get("speedup")
+        print(f"{bench['name']:28s} {timing['best_s']*1e3:8.2f}ms "
+              f"{timing['mean_s']*1e3:8.2f}ms "
+              f"{'%.2fx' % speedup if speedup else '-':>8s}")
+
+    if args.against is None:
+        return 0
+    baseline_path = Path(args.against)
+    if not baseline_path.is_file():
+        print(f"\nbaseline {baseline_path} not found", file=sys.stderr)
+        return 2
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"\nbaseline {baseline_path} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 2
+    base_errors = validate_report(baseline)
+    if base_errors:
+        print(f"\nbaseline {baseline_path} fails schema validation:",
+              file=sys.stderr)
+        for err in base_errors:
+            print(f"  {err}", file=sys.stderr)
+        return 2
+    comparisons = compare_reports(report, baseline, args.threshold)
+    print(f"\ncomparison against {baseline_path} "
+          f"(threshold {args.threshold:.0f}%):")
+    failed = False
+    for comp in comparisons:
+        if comp.missing:
+            print(f"  {comp.name:28s} MISSING from current run")
+            failed = True
+            continue
+        verdict = "REGRESSED" if comp.regressed else "ok"
+        print(f"  {comp.name:28s} {comp.ratio:6.2f}x baseline  {verdict}")
+        failed = failed or comp.regressed
+    if failed:
+        print("\nperformance regression detected", file=sys.stderr)
+        return 3
+    print("\nno regressions")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """Argument parsing and dispatch; returns the exit code."""
     parser = argparse.ArgumentParser(
@@ -162,6 +227,22 @@ def main(argv: Optional[list] = None) -> int:
                             help="root seed for all fault draws")
     faults_run.add_argument("--trace", default=None, metavar="PATH",
                             help="write the full JSONL trace to PATH")
+    bench_parser = sub.add_parser(
+        "bench", help="run the performance suite and write BENCH_perf.json"
+    )
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="reduced sizes/repeats (CI smoke mode)")
+    bench_parser.add_argument("--seed", type=int, default=0,
+                              help="root seed for all benchmark inputs")
+    bench_parser.add_argument("--out", default="BENCH_perf.json",
+                              metavar="PATH",
+                              help="report path (default BENCH_perf.json)")
+    bench_parser.add_argument("--against", default=None, metavar="JSON",
+                              help="baseline report; exit 3 on regression")
+    bench_parser.add_argument("--threshold", type=float, default=25.0,
+                              metavar="PCT",
+                              help="regression threshold in percent "
+                                   "(default 25)")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -169,6 +250,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_info()
     if args.command == "faults":
         return cmd_faults_run(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     return cmd_run(args.name)
 
 

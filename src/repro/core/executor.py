@@ -6,11 +6,25 @@ over a :class:`repro.wsn.Network`, so per-node traffic is *measured*,
 not just modelled.  It also supports node-failure masking: units
 hosted on dead nodes produce zeros, the behaviour the resilience
 experiment (E8) quantifies.
+
+Hot paths are vectorized (see README "Performance"):
+
+- traffic replay aggregates the transfer list per
+  ``(layer, src, dst, n_values)`` and sends each group through
+  :meth:`repro.wsn.Network.unicast_bulk` once, instead of one Python
+  ``unicast`` per transfer per batch element;
+- failure masking zeroes each layer with one fancy-indexed assignment
+  built from precomputed per-node index maps, instead of a Python loop
+  over positions.
+
+The pre-optimization reference paths (``forward(per_element=True)``,
+:meth:`forward_masked_reference`) stay callable so the parity tests can
+prove the fast paths behavior-identical.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -19,6 +33,11 @@ from repro.core.costmodel import CommunicationCostModel
 from repro.core.unitgraph import UnitGraph
 from repro.nn.model import Sequential
 from repro.wsn.network import Message, Network
+
+#: node -> (row indices, col indices) for spatial layers, or
+#: node -> unit indices for flat layers.
+SpatialIndex = Dict[int, Tuple[np.ndarray, np.ndarray]]
+FlatIndex = Dict[int, np.ndarray]
 
 
 class DistributedExecutor:
@@ -46,33 +65,76 @@ class DistributedExecutor:
         self.network = network
         self._cost_model = CommunicationCostModel(graph, network.topology)
         self._transfer_list = None
+        self._aggregated_list = None
+        self._owner_index = None
+        self._dead_index_cache: Dict[frozenset, list] = {}
 
     def _transfers(self):
         if self._transfer_list is None:
             self._transfer_list = self._cost_model.transfers(self.placement)
         return self._transfer_list
 
+    def _aggregated_transfers(self):
+        """Transfer list grouped by ``(layer, src, dst, n_values)``.
+
+        Returns ``[(key, multiplicity), ...]`` in first-occurrence
+        order, which keeps the replayed layer sequence non-decreasing
+        exactly like the flat list.
+        """
+        if self._aggregated_list is None:
+            counts: Dict[Tuple[int, int, int, int], int] = {}
+            order: List[Tuple[int, int, int, int]] = []
+            for key in self._transfers():
+                if key in counts:
+                    counts[key] += 1
+                else:
+                    counts[key] = 1
+                    order.append(key)
+            self._aggregated_list = [(key, counts[key]) for key in order]
+        return self._aggregated_list
+
     def forward(
-        self, x: np.ndarray, count_traffic: bool = True
+        self,
+        x: np.ndarray,
+        count_traffic: bool = True,
+        per_element: bool = False,
     ) -> np.ndarray:
         """Distributed forward pass.
 
         When ``count_traffic`` is set, every cross-node transfer of one
-        inference is sent through the network layer **once per batch
-        element** (each inference pays its own traffic).
+        inference is accounted through the network layer **once per
+        batch element** (each inference pays its own traffic).  The
+        default path aggregates identical transfers and replays each
+        group with one bulk send; ``per_element=True`` selects the
+        original one-``unicast``-per-transfer-per-element compatibility
+        loop (same traffic stats, Python-interpreter bound).
 
         Returns:
             The model logits (identical to the centralized forward).
         """
         if count_traffic:
-            batch = x.shape[0]
+            self.replay_traffic(x.shape[0], per_element=per_element)
+        return self.model.forward(x, training=False)
+
+    def replay_traffic(self, batch: int, per_element: bool = False) -> None:
+        """Account ``batch`` inferences' cross-node transfers on the
+        network layer (the traffic half of :meth:`forward`, exposed so
+        the perf harness can benchmark the replay in isolation)."""
+        if per_element:
             for layer_index, src, dst, n_values in self._transfers():
                 for __ in range(batch):
                     self.network.unicast(
                         Message(src=src, dst=dst, n_values=n_values,
                                 kind=f"layer{layer_index}")
                     )
-        return self.model.forward(x, training=False)
+        else:
+            for key, multiplicity in self._aggregated_transfers():
+                layer_index, src, dst, n_values = key
+                self.network.unicast_bulk(
+                    Message(src=src, dst=dst, n_values=n_values,
+                            kind=f"layer{layer_index}"),
+                    copies=batch * multiplicity,
+                )
 
     def predict(self, x: np.ndarray, count_traffic: bool = False) -> np.ndarray:
         """Class predictions from the distributed forward pass."""
@@ -92,15 +154,17 @@ class DistributedExecutor:
         """Layer-by-layer forward pass with substitution hooks.
 
         This is the executor-side choke point the fault layer plugs
-        into: ``input_hook(x)`` may rewrite the (copied) input field,
-        and ``layer_hook(entry, out)`` runs after every unit-graph
-        layer and may rewrite (or replace) its activations — e.g. to
-        zero dead units or substitute stale values.  Flatten layers,
-        which move no data, are not hooked.
+        into: ``input_hook(x)`` may rewrite the input field (the
+        executor hands it a private copy), and ``layer_hook(entry,
+        out)`` runs after every unit-graph layer and may rewrite (or
+        replace) its activations — e.g. to zero dead units or
+        substitute stale values.  Flatten layers, which move no data,
+        are not hooked.  Without an ``input_hook`` the input is not
+        copied: every layer allocates its own output, so the caller's
+        array is never written to.
         """
-        x = np.array(x, copy=True)
         if input_hook is not None:
-            x = input_hook(x)
+            x = input_hook(np.array(x, copy=True))
         out = x
         for entry in self.graph.layers:
             out = entry.layer.forward(out, training=False)
@@ -109,6 +173,62 @@ class DistributedExecutor:
                 if replacement is not None:
                     out = replacement
         return out
+
+    def _owner_indices(self):
+        """Precomputed node -> output-index arrays, one map per layer.
+
+        Element 0 is the input grid's map; element ``1 + i`` belongs to
+        ``graph.layers[i]`` (None for flatten layers).  Spatial maps
+        hold ``(rows, cols)`` index-array pairs, flat maps hold unit
+        index arrays — ready for one fancy-indexed zeroing per layer.
+        """
+        if self._owner_index is None:
+            maps: List[Optional[dict]] = []
+            input_pos: Dict[int, List] = {}
+            for pos, node in self.placement.input_node.items():
+                input_pos.setdefault(node, []).append(pos)
+            maps.append({
+                node: (
+                    np.array([p[0] for p in sorted(pos)], dtype=np.intp),
+                    np.array([p[1] for p in sorted(pos)], dtype=np.intp),
+                )
+                for node, pos in input_pos.items()
+            })
+            for entry in self.graph.layers:
+                if entry.kind == "flatten":
+                    maps.append(None)
+                    continue
+                owned: Dict[int, List] = {}
+                for pos in entry.output_positions():
+                    node = self.placement.node_of(entry.index, pos)
+                    owned.setdefault(node, []).append(pos)
+                if entry.kind == "spatial":
+                    maps.append({
+                        node: (
+                            np.array([p[0] for p in pos], dtype=np.intp),
+                            np.array([p[1] for p in pos], dtype=np.intp),
+                        )
+                        for node, pos in owned.items()
+                    })
+                else:
+                    maps.append({
+                        node: np.array(pos, dtype=np.intp)
+                        for node, pos in owned.items()
+                    })
+            self._owner_index = maps
+        return self._owner_index
+
+    @staticmethod
+    def _dead_spatial_index(
+        index_map: SpatialIndex, dead: Set[int]
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        picks = [index_map[node] for node in sorted(dead) if node in index_map]
+        if not picks:
+            return None
+        return (
+            np.concatenate([p[0] for p in picks]),
+            np.concatenate([p[1] for p in picks]),
+        )
 
     def forward_masked(
         self, x: np.ndarray, dead_nodes: Iterable[int]
@@ -119,7 +239,62 @@ class DistributedExecutor:
         hosted on a dead node outputs zero — its value never reaches
         the downstream consumers.  This is the paper's §V scenario:
         "a part of tiny IoT devices may be broken".
+
+        Masking is vectorized: the dead positions of each layer are
+        gathered from precomputed per-node index maps and zeroed with
+        one assignment (:meth:`forward_masked_reference` is the
+        per-position original, kept for the parity tests).
         """
+        dead: Set[int] = set(dead_nodes)
+        if not dead:
+            return self.model.forward(x, training=False)
+        input_index, layer_spans = self._dead_indices(frozenset(dead))
+        x = np.array(x, copy=True)
+        if input_index is not None:
+            x[:, :, input_index[0], input_index[1]] = 0.0
+        out = x
+        for entry, span in zip(self.graph.layers, layer_spans):
+            out = entry.layer.forward(out, training=False)
+            if span is None:
+                continue
+            if entry.kind == "spatial":
+                out[:, :, span[0], span[1]] = 0.0
+            else:
+                out[:, span] = 0.0
+        return out
+
+    def _dead_indices(self, dead: frozenset):
+        """Concatenated dead-position indices, memoized per dead set
+        (a failure scenario is typically evaluated over many batches,
+        so the concatenation is paid once)."""
+        cached = self._dead_index_cache.get(dead)
+        if cached is not None:
+            return cached
+        maps = self._owner_indices()
+        input_index = self._dead_spatial_index(maps[0], dead)
+        layer_spans = []
+        for entry, index_map in zip(self.graph.layers, maps[1:]):
+            if index_map is None:
+                layer_spans.append(None)
+            elif entry.kind == "spatial":
+                layer_spans.append(self._dead_spatial_index(index_map, dead))
+            else:
+                picks = [index_map[n] for n in sorted(dead) if n in index_map]
+                layer_spans.append(
+                    np.concatenate(picks) if picks else None
+                )
+        if len(self._dead_index_cache) >= 64:
+            self._dead_index_cache.clear()
+        cached = (input_index, layer_spans)
+        self._dead_index_cache[dead] = cached
+        return cached
+
+    def forward_masked_reference(
+        self, x: np.ndarray, dead_nodes: Iterable[int]
+    ) -> np.ndarray:
+        """Pre-optimization :meth:`forward_masked`: hook-based, one
+        Python iteration per unit position.  Kept callable so the test
+        suite can prove the vectorized path byte-identical."""
         dead: Set[int] = set(dead_nodes)
         if not dead:
             return self.model.forward(x, training=False)

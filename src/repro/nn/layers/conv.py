@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.nn import initializers
 from repro.nn.layers.base import ParamLayer, SpatialDeps
-from repro.nn.layers.im2col import col2im, conv_output_hw, im2col
+from repro.nn.layers.im2col import col2im, conv_output_hw, im2col_cached
 
 
 class Conv2D(ParamLayer):
@@ -89,7 +89,7 @@ class Conv2D(ParamLayer):
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         n, c, h, w = x.shape
         out_h, out_w = conv_output_hw(h, w, self.kh, self.kw, self.stride, self.pad)
-        col = im2col(x, self.kh, self.kw, self.stride, self.pad)
+        col = im2col_cached(x, self.kh, self.kw, self.stride, self.pad)
         w_flat = self._params["W"].reshape(self.filters, -1).T
         out = col @ w_flat + self._params["b"]
         out = out.reshape(n, out_h, out_w, self.filters).transpose(0, 3, 1, 2)

@@ -7,7 +7,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.nn.layers.base import Layer, SpatialDeps
-from repro.nn.layers.im2col import col2im, conv_output_hw, im2col
+from repro.nn.layers.im2col import col2im, conv_output_hw, im2col_cached
 
 
 class _Pool2D(Layer):
@@ -45,7 +45,7 @@ class _Pool2D(Layer):
     def _unfold(self, x: np.ndarray) -> tuple:
         n, c, h, w = x.shape
         out_h, out_w = conv_output_hw(h, w, self.ph, self.pw, self.stride, 0)
-        col = im2col(x, self.ph, self.pw, self.stride, 0)
+        col = im2col_cached(x, self.ph, self.pw, self.stride, 0)
         # rows: (n*out_h*out_w, c*ph*pw) -> (n*out_h*out_w*c, ph*pw)
         col = col.reshape(-1, c, self.ph * self.pw).reshape(-1, self.ph * self.pw)
         return col, (n, c, out_h, out_w)

@@ -1,0 +1,179 @@
+"""BENCH_perf.json schema, validation, and regression comparison.
+
+The report format (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "suite": "repro-perf",
+      "protocol": {"quick": bool, "seed": int, "warmup": int, "repeat": int},
+      "env": {"python": str, "numpy": str, "platform": str},
+      "benchmarks": [
+        {
+          "name": str,                     # unique within the report
+          "params": {str: scalar},         # workload configuration
+          "input_digest": str,             # sha256 of the input tensors
+          "timing": {"best_s": float, "mean_s": float, "median_s": float,
+                     "std_s": float, "runs_s": [float, ...]},
+          "reference_timing": {...},       # optional: pre-optimization path
+          "speedup": float,                # optional: reference/optimized best
+          "counters": {str: float}         # optional side observations
+        }, ...
+      ]
+    }
+
+Validation is hand-rolled (no jsonschema dependency); comparison gates
+on ``best_s`` — the minimum over runs, the estimator least sensitive
+to scheduler noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+SCHEMA_VERSION = 1
+SUITE_NAME = "repro-perf"
+
+_TIMING_KEYS = ("best_s", "mean_s", "median_s", "std_s", "runs_s")
+
+
+def _check_timing(timing: Any, where: str, errors: List[str]) -> None:
+    if not isinstance(timing, dict):
+        errors.append(f"{where}: timing must be an object")
+        return
+    for key in _TIMING_KEYS:
+        if key not in timing:
+            errors.append(f"{where}: timing missing {key!r}")
+    for key in ("best_s", "mean_s", "median_s"):
+        value = timing.get(key)
+        if value is not None and (
+            not isinstance(value, (int, float)) or value <= 0
+        ):
+            errors.append(f"{where}: timing.{key} must be a positive number")
+    std = timing.get("std_s")
+    if std is not None and (not isinstance(std, (int, float)) or std < 0):
+        errors.append(f"{where}: timing.std_s must be >= 0")
+    runs = timing.get("runs_s")
+    if runs is not None:
+        if not isinstance(runs, list) or not runs:
+            errors.append(f"{where}: timing.runs_s must be a non-empty list")
+        elif not all(isinstance(r, (int, float)) and r > 0 for r in runs):
+            errors.append(f"{where}: timing.runs_s entries must be positive")
+
+
+def validate_report(report: Any) -> List[str]:
+    """Structural validation; returns the (empty when valid) error list."""
+    errors: List[str] = []
+    if not isinstance(report, dict):
+        return ["report must be a JSON object"]
+    if report.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {report.get('schema_version')!r}"
+        )
+    if report.get("suite") != SUITE_NAME:
+        errors.append(f"suite must be {SUITE_NAME!r}, got {report.get('suite')!r}")
+    protocol = report.get("protocol")
+    if not isinstance(protocol, dict):
+        errors.append("protocol must be an object")
+    else:
+        for key in ("quick", "seed", "warmup", "repeat"):
+            if key not in protocol:
+                errors.append(f"protocol missing {key!r}")
+    env = report.get("env")
+    if not isinstance(env, dict):
+        errors.append("env must be an object")
+    else:
+        for key in ("python", "numpy", "platform"):
+            if key not in env:
+                errors.append(f"env missing {key!r}")
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        errors.append("benchmarks must be a non-empty list")
+        return errors
+    seen = set()
+    for i, bench in enumerate(benchmarks):
+        where = f"benchmarks[{i}]"
+        if not isinstance(bench, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        name = bench.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: name must be a non-empty string")
+        elif name in seen:
+            errors.append(f"{where}: duplicate benchmark name {name!r}")
+        else:
+            seen.add(name)
+        digest = bench.get("input_digest")
+        if not isinstance(digest, str) or len(digest) != 64:
+            errors.append(f"{where}: input_digest must be a sha256 hex string")
+        if not isinstance(bench.get("params"), dict):
+            errors.append(f"{where}: params must be an object")
+        _check_timing(bench.get("timing"), where, errors)
+        if "reference_timing" in bench:
+            _check_timing(bench["reference_timing"], f"{where}.reference", errors)
+        speedup = bench.get("speedup")
+        if speedup is not None and (
+            not isinstance(speedup, (int, float)) or speedup <= 0
+        ):
+            errors.append(f"{where}: speedup must be a positive number")
+        counters = bench.get("counters")
+        if counters is not None and not isinstance(counters, dict):
+            errors.append(f"{where}: counters must be an object")
+    return errors
+
+
+@dataclass
+class Comparison:
+    """Verdict for one benchmark present in the baseline."""
+
+    name: str
+    baseline_best_s: float
+    current_best_s: float
+    ratio: float          # current / baseline; > 1 means slower
+    regressed: bool
+    missing: bool = False
+
+
+def compare_reports(
+    current: Dict, baseline: Dict, threshold_pct: float = 25.0
+) -> List[Comparison]:
+    """Gate ``current`` against ``baseline``.
+
+    A benchmark regresses when its ``best_s`` exceeds the baseline's
+    by more than ``threshold_pct`` percent; a baseline benchmark absent
+    from the current run is reported as missing (and counts as a
+    failure — silently dropping a workload must not pass the gate).
+    Benchmarks only present in the current run are ignored: adding
+    coverage is never a regression.
+    """
+    if threshold_pct < 0:
+        raise ValueError(f"threshold_pct must be >= 0, got {threshold_pct}")
+    current_by_name = {
+        b["name"]: b for b in current.get("benchmarks", [])
+    }
+    results: List[Comparison] = []
+    for bench in baseline.get("benchmarks", []):
+        name = bench["name"]
+        base_best = float(bench["timing"]["best_s"])
+        now = current_by_name.get(name)
+        if now is None:
+            results.append(Comparison(
+                name=name, baseline_best_s=base_best, current_best_s=float("nan"),
+                ratio=float("nan"), regressed=True, missing=True,
+            ))
+            continue
+        cur_best = float(now["timing"]["best_s"])
+        ratio = cur_best / base_best
+        results.append(Comparison(
+            name=name,
+            baseline_best_s=base_best,
+            current_best_s=cur_best,
+            ratio=ratio,
+            regressed=ratio > 1.0 + threshold_pct / 100.0,
+        ))
+    return results
+
+
+def regressions(comparisons: List[Comparison]) -> List[Comparison]:
+    return [c for c in comparisons if c.regressed]

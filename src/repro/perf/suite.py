@@ -1,0 +1,311 @@
+"""The benchmark workloads behind ``repro bench``.
+
+Each benchmark measures one hot path of the MicroDeep stack under the
+warmup+repeat protocol with fixed seeds; the ones with a kept
+pre-optimization reference path time both and report the speedup, so
+``BENCH_perf.json`` carries the measured evidence for the vectorization
+claims (and the regression gate keeps them from silently rotting).
+
+Workloads:
+
+- ``traffic_replay_batched`` — batched cross-node transfer replay,
+  aggregated bulk sends vs. one ``unicast`` per transfer per element;
+- ``forward_e2e`` — full distributed forward (traffic + math), both
+  replay modes;
+- ``forward_masked_dead20`` — failure masking with 20 % dead nodes,
+  fancy-indexed zeroing vs. the per-position hook loop;
+- ``im2col_unfold`` — pooling-regime patch extraction with the
+  memoized gather plan vs. the reference kernel loop;
+- ``sim_event_throughput`` — event drain via ``run_batch`` vs ``run``;
+- ``train_epoch`` — one MicroDeep local-update training epoch
+  (measured only; tracks the training trajectory over PRs).
+"""
+
+from __future__ import annotations
+
+import platform
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.assignment import grid_correspondence_assignment
+from repro.core.executor import DistributedExecutor
+from repro.core.training import MicroDeepTrainer
+from repro.core.unitgraph import UnitGraph
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, SGD, Sequential
+from repro.nn.layers.im2col import im2col, im2col_cached
+from repro.perf.schema import SCHEMA_VERSION, SUITE_NAME
+from repro.perf.timing import (
+    BenchProtocol,
+    CounterRegistry,
+    input_digest,
+    measure,
+)
+from repro.sim.engine import Simulator
+from repro.wsn.network import Network
+from repro.wsn.topology import GridTopology
+
+#: Full-mode protocol; quick mode shrinks both knobs so the smoke test
+#: stays inside tier-1 budgets.
+FULL_PROTOCOL = BenchProtocol(warmup=1, repeat=3)
+QUICK_PROTOCOL = BenchProtocol(warmup=1, repeat=2)
+
+
+def _scenario(
+    seed: int,
+    input_hw,
+    node_grid,
+    conv_filters: int = 2,
+    dense_units: int = 8,
+    classes: int = 2,
+):
+    """A placed CNN + network in MicroDeep's operating regime."""
+    model = Sequential([
+        Conv2D(conv_filters, 3), ReLU(), MaxPool2D(2), Flatten(),
+        Dense(dense_units), ReLU(), Dense(classes),
+    ])
+    model.build((1,) + tuple(input_hw), np.random.default_rng(seed))
+    graph = UnitGraph(model)
+    topology = GridTopology(*node_grid)
+    placement = grid_correspondence_assignment(graph, topology)
+    network = Network(topology)
+    executor = DistributedExecutor(model, graph, placement, network)
+    return model, graph, topology, placement, network, executor
+
+
+def _stats_counters(network: Network, prefix: str, counters: CounterRegistry):
+    stats = network.stats
+    counters.set(f"{prefix}_sent", stats.sent)
+    counters.set(f"{prefix}_delivered", stats.delivered)
+    counters.set(f"{prefix}_total_hops", stats.total_hops)
+    counters.set(f"{prefix}_rx_values", sum(stats.per_node_rx_values.values()))
+
+
+def bench_traffic_replay(protocol: BenchProtocol, seed: int, quick: bool) -> Dict:
+    batch = 8 if quick else 32
+    input_hw = (10, 10) if quick else (12, 12)
+    __, __, __, __, network, executor = _scenario(seed, input_hw, (4, 4))
+    executor._transfers()  # build the transfer list outside the timers
+    counters = CounterRegistry()
+
+    network.reset_stats()
+    executor.replay_traffic(batch, per_element=True)
+    _stats_counters(network, "reference", counters)
+    network.reset_stats()
+    executor.replay_traffic(batch)
+    _stats_counters(network, "vectorized", counters)
+    counters.set("batch", batch)
+
+    timing = measure(
+        lambda __: executor.replay_traffic(batch),
+        protocol, setup=network.reset_stats,
+    )
+    reference = measure(
+        lambda __: executor.replay_traffic(batch, per_element=True),
+        protocol, setup=network.reset_stats,
+    )
+    network.reset_stats()
+    # Mode-independent name (batch lives in params) so a --quick run
+    # can gate against a committed full-mode baseline.
+    return {
+        "name": "traffic_replay_batched",
+        "params": {"batch": batch, "input_hw": list(input_hw),
+                   "node_grid": [4, 4], "seed": seed},
+        "input_digest": input_digest(
+            extra=f"traffic_replay seed={seed} batch={batch} hw={input_hw}"
+        ),
+        "timing": timing.to_dict(),
+        "reference_timing": reference.to_dict(),
+        "speedup": reference.best_s / timing.best_s,
+        "counters": counters.to_dict(),
+    }
+
+
+def bench_forward_e2e(protocol: BenchProtocol, seed: int, quick: bool) -> Dict:
+    batch = 8 if quick else 32
+    input_hw = (10, 10) if quick else (12, 12)
+    __, __, __, __, network, executor = _scenario(seed, input_hw, (4, 4))
+    rng = np.random.default_rng(seed + 1)
+    x = rng.normal(size=(batch, 1) + tuple(input_hw))
+    executor.forward(x, count_traffic=False)  # build caches untimed
+
+    timing = measure(
+        lambda __: executor.forward(x),
+        protocol, setup=network.reset_stats,
+    )
+    reference = measure(
+        lambda __: executor.forward(x, per_element=True),
+        protocol, setup=network.reset_stats,
+    )
+    network.reset_stats()
+    return {
+        "name": "forward_e2e",
+        "params": {"batch": batch, "input_hw": list(input_hw), "seed": seed},
+        "input_digest": input_digest(x, extra=f"forward_e2e seed={seed}"),
+        "timing": timing.to_dict(),
+        "reference_timing": reference.to_dict(),
+        "speedup": reference.best_s / timing.best_s,
+    }
+
+
+def bench_forward_masked(protocol: BenchProtocol, seed: int, quick: bool) -> Dict:
+    batch = 2
+    input_hw = (16, 16) if quick else (28, 28)
+    node_grid = (4, 4) if quick else (5, 5)
+    __, __, topology, __, __, executor = _scenario(
+        seed, input_hw, node_grid, conv_filters=2, dense_units=16, classes=4
+    )
+    rng = np.random.default_rng(seed + 2)
+    x = rng.normal(size=(batch, 1) + tuple(input_hw))
+    node_ids = sorted(topology.nodes)
+    n_dead = max(1, round(0.2 * len(node_ids)))
+    dead = [int(n) for n in rng.choice(node_ids, size=n_dead, replace=False)]
+    executor.forward_masked(x, dead)  # build the owner-index cache untimed
+
+    timing = measure(lambda: executor.forward_masked(x, dead), protocol)
+    reference = measure(
+        lambda: executor.forward_masked_reference(x, dead), protocol
+    )
+    return {
+        "name": "forward_masked_dead20",
+        "params": {"batch": batch, "input_hw": list(input_hw),
+                   "node_grid": list(node_grid), "dead_nodes": dead,
+                   "seed": seed},
+        "input_digest": input_digest(
+            x, extra=f"forward_masked seed={seed} dead={dead}"
+        ),
+        "timing": timing.to_dict(),
+        "reference_timing": reference.to_dict(),
+        "speedup": reference.best_s / timing.best_s,
+    }
+
+
+def bench_im2col_unfold(protocol: BenchProtocol, seed: int, quick: bool) -> Dict:
+    # The pooling regime (non-overlapping 2x2/stride-2 windows) is
+    # where the memoized gather plan replaces the kernel loop; it runs
+    # on every MaxPool2D forward.
+    shape = (8, 2, 12, 12) if quick else (32, 4, 24, 24)
+    rng = np.random.default_rng(seed + 3)
+    x = rng.normal(size=shape)
+    kh = kw = 2
+    stride = 2
+    im2col_cached(x, kh, kw, stride, 0)  # populate the index cache untimed
+
+    timing = measure(lambda: im2col_cached(x, kh, kw, stride, 0), protocol)
+    reference = measure(lambda: im2col(x, kh, kw, stride, 0), protocol)
+    return {
+        "name": "im2col_unfold",
+        "params": {"shape": list(shape), "kernel": [kh, kw],
+                   "stride": stride, "pad": 0, "seed": seed},
+        "input_digest": input_digest(x, extra=f"im2col_unfold seed={seed}"),
+        "timing": timing.to_dict(),
+        "reference_timing": reference.to_dict(),
+        "speedup": reference.best_s / timing.best_s,
+    }
+
+
+def bench_sim_events(protocol: BenchProtocol, seed: int, quick: bool) -> Dict:
+    # The realistic drain pattern: bounded run(until=...) slices (how
+    # the MAC simulations and the fault runtime advance virtual time),
+    # where run() re-peeks the heap before every event; run_batch pops
+    # each event exactly once.
+    n_events = 2_000 if quick else 20_000
+    n_slices = 50 if quick else 200
+    rng = np.random.default_rng(seed + 4)
+    # Coarse-grained times: long same-time runs exercise the tie-break.
+    times = np.sort(rng.integers(0, max(1, n_events // 8), size=n_events)) / 10.0
+    horizon = float(times[-1])
+    slices = [horizon * (i + 1) / n_slices for i in range(n_slices)]
+
+    def _noop() -> None:
+        pass
+
+    def fresh_sim() -> Simulator:
+        sim = Simulator()
+        for t in times:
+            sim.schedule(float(t), _noop)
+        return sim
+
+    def drain_batch(sim: Simulator) -> None:
+        for until in slices:
+            sim.run_batch(until=until)
+
+    def drain_run(sim: Simulator) -> None:
+        for until in slices:
+            sim.run(until=until)
+
+    timing = measure(drain_batch, protocol, setup=fresh_sim)
+    reference = measure(drain_run, protocol, setup=fresh_sim)
+    return {
+        "name": "sim_event_throughput",
+        "params": {"n_events": n_events, "n_slices": n_slices, "seed": seed},
+        "input_digest": input_digest(
+            times, extra=f"sim_events seed={seed} n={n_events}"
+        ),
+        "timing": timing.to_dict(),
+        "reference_timing": reference.to_dict(),
+        "speedup": reference.best_s / timing.best_s,
+        "counters": {"events_processed": float(n_events)},
+    }
+
+
+def bench_train_epoch(protocol: BenchProtocol, seed: int, quick: bool) -> Dict:
+    n_samples = 16 if quick else 64
+    input_hw = (10, 10)
+    __, graph, __, placement, __, __ = _scenario(seed, input_hw, (4, 4))
+    rng = np.random.default_rng(seed + 5)
+    x = rng.normal(size=(n_samples, 1) + input_hw)
+    y = rng.integers(0, 2, size=n_samples)
+    trainer = MicroDeepTrainer(graph, placement, SGD(lr=0.05), "local")
+    fit_rng = np.random.default_rng(seed + 6)
+
+    timing = measure(
+        lambda: trainer.fit(x, y, epochs=1, batch_size=8, rng=fit_rng),
+        protocol,
+    )
+    return {
+        "name": "train_epoch",
+        "params": {"n_samples": n_samples, "batch_size": 8,
+                   "input_hw": list(input_hw), "seed": seed},
+        "input_digest": input_digest(x, y, extra=f"train_epoch seed={seed}"),
+        "timing": timing.to_dict(),
+    }
+
+
+_BENCHMARKS = (
+    bench_traffic_replay,
+    bench_forward_e2e,
+    bench_forward_masked,
+    bench_im2col_unfold,
+    bench_sim_events,
+    bench_train_epoch,
+)
+
+
+def run_suite(
+    quick: bool = False,
+    seed: int = 0,
+    protocol: Optional[BenchProtocol] = None,
+) -> Dict:
+    """Run every workload; returns the schema-valid report dict."""
+    if protocol is None:
+        protocol = QUICK_PROTOCOL if quick else FULL_PROTOCOL
+    benchmarks: List[Dict] = [
+        bench(protocol, seed, quick) for bench in _BENCHMARKS
+    ]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": SUITE_NAME,
+        "protocol": {
+            "quick": quick,
+            "seed": seed,
+            "warmup": protocol.warmup,
+            "repeat": protocol.repeat,
+        },
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "benchmarks": benchmarks,
+    }

@@ -1,0 +1,129 @@
+"""Measurement primitives: warmup+repeat protocol, counters, digests.
+
+The harness's contract is *reproducible comparisons*: every benchmark
+runs the same warmup-then-repeat protocol under fixed seeds, reports
+the full run list (not just a summary statistic), and fingerprints its
+inputs with a content digest so two runs of the same seed can be
+checked for input drift before their timings are ever compared.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BenchProtocol:
+    """Warmup + repeat measurement discipline.
+
+    Args:
+        warmup: untimed calls before measurement (caches, allocator,
+            and JIT-free NumPy paths reach steady state).
+        repeat: timed calls; the report keeps every run.
+    """
+
+    warmup: int = 2
+    repeat: int = 5
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.repeat < 1:
+            raise ValueError(f"repeat must be >= 1, got {self.repeat}")
+
+
+@dataclass
+class TimingStats:
+    """Per-run wall times of one benchmark, with summary accessors."""
+
+    runs_s: List[float]
+
+    @property
+    def best_s(self) -> float:
+        """Minimum run time — the least-noise estimator, and the one
+        regression gating compares."""
+        return min(self.runs_s)
+
+    @property
+    def mean_s(self) -> float:
+        return statistics.fmean(self.runs_s)
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.runs_s)
+
+    @property
+    def std_s(self) -> float:
+        if len(self.runs_s) < 2:
+            return 0.0
+        return statistics.stdev(self.runs_s)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "best_s": self.best_s,
+            "mean_s": self.mean_s,
+            "median_s": self.median_s,
+            "std_s": self.std_s,
+            "runs_s": list(self.runs_s),
+        }
+
+
+def measure(
+    fn: Callable[..., Any],
+    protocol: BenchProtocol,
+    setup: Optional[Callable[[], Any]] = None,
+) -> TimingStats:
+    """Time ``fn`` under the protocol.
+
+    When ``setup`` is given, each call (warmup and timed alike) first
+    runs ``setup()`` untimed and passes its return value to ``fn`` —
+    the hook benchmarks that consume their fixture (e.g. draining an
+    event queue) use to rebuild state outside the measured window.
+    """
+    for __ in range(protocol.warmup):
+        fn(setup()) if setup is not None else fn()
+    runs: List[float] = []
+    for __ in range(protocol.repeat):
+        arg = setup() if setup is not None else None
+        start = time.perf_counter()
+        fn(arg) if setup is not None else fn()
+        runs.append(time.perf_counter() - start)
+    return TimingStats(runs)
+
+
+@dataclass
+class CounterRegistry:
+    """Named numeric side-channel observations of one benchmark
+    (message counts, values transferred, event totals) recorded next
+    to the timings so parity can be audited from the JSON alone."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, value) -> None:
+        self.counters[name] = self.counters.get(name, 0) + float(value)
+
+    def set(self, name: str, value) -> None:
+        self.counters[name] = float(value)
+
+    def to_dict(self) -> Dict[str, float]:
+        return dict(self.counters)
+
+
+def input_digest(*arrays: np.ndarray, extra: str = "") -> str:
+    """SHA-256 fingerprint of the benchmark's input tensors (plus any
+    config string), used by the seed-stability check: same seed, same
+    digest — or the comparison is meaningless."""
+    h = hashlib.sha256()
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    h.update(extra.encode())
+    return h.hexdigest()

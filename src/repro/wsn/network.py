@@ -154,6 +154,50 @@ class Network:
         self.stats.delivered += 1
         return True
 
+    def unicast_bulk(self, message: Message, copies: int) -> int:
+        """Send ``copies`` identical messages; returns deliveries.
+
+        On ideal links (no loss, no fault model) this is the vectorized
+        equivalent of calling :meth:`unicast` ``copies`` times: the
+        route is resolved **once** and every counter — packet counts,
+        per-node tx/rx values, hop totals — is advanced by the same
+        amounts the per-message loop would produce, so traffic stats
+        stay byte-identical while the Python cost drops from
+        ``O(copies x hops)`` to ``O(hops)``.
+
+        Lossy or fault-injected links draw per-message randomness, so
+        aggregation would change the RNG stream; in that case this
+        falls back to the per-message loop, preserving exact behaviour.
+        """
+        if copies < 0:
+            raise ValueError(f"copies must be non-negative, got {copies}")
+        if copies == 0:
+            return 0
+        if self.loss_probability > 0.0 or self.link_faults is not None:
+            return sum(self.unicast(message) for __ in range(copies))
+        self.stats.sent += copies
+        route = shortest_path_route(self.topology, message.src, message.dst)
+        if route is None:
+            self.stats.dropped += copies
+            return 0
+        values = message.n_values * copies
+        for hop_src, hop_dst in zip(route, route[1:]):
+            src_node = self.topology.node(hop_src)
+            dst_node = self.topology.node(hop_dst)
+            src_node.tx_count += copies
+            src_node.tx_values += values
+            dst_node.rx_count += copies
+            dst_node.rx_values += values
+            self.stats.per_node_tx_values[hop_src] = (
+                self.stats.per_node_tx_values.get(hop_src, 0) + values
+            )
+            self.stats.per_node_rx_values[hop_dst] = (
+                self.stats.per_node_rx_values.get(hop_dst, 0) + values
+            )
+            self.stats.total_hops += copies
+        self.stats.delivered += copies
+        return copies
+
     def broadcast_from(self, src: int, n_values: int) -> int:
         """Deliver to every alive node (via unicast routes); returns
         the number of nodes reached."""

@@ -1,0 +1,227 @@
+"""Smoke and unit tests for the ``repro bench`` harness.
+
+One real quick-mode suite run is shared across the CLI tests (module
+fixture) so tier-1 stays fast; comparison/threshold semantics are
+pinned on hand-built reports.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    BenchProtocol,
+    Comparison,
+    CounterRegistry,
+    SCHEMA_VERSION,
+    SUITE_NAME,
+    TimingStats,
+    compare_reports,
+    input_digest,
+    measure,
+    regressions,
+    run_suite,
+    validate_report,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    """One real quick bench run through the CLI, parsed back."""
+    out = tmp_path_factory.mktemp("bench") / "BENCH_quick.json"
+    assert main(["bench", "--quick", "--out", str(out)]) == 0
+    return out, json.loads(out.read_text())
+
+
+class TestBenchCli:
+    def test_quick_run_writes_schema_valid_report(self, quick_report):
+        __, report = quick_report
+        assert validate_report(report) == []
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["suite"] == SUITE_NAME
+        assert report["protocol"]["quick"] is True
+        names = [b["name"] for b in report["benchmarks"]]
+        assert "traffic_replay_batched" in names
+        assert "forward_masked_dead20" in names
+        assert "sim_event_throughput" in names
+
+    def test_against_identical_run_passes(self, quick_report, tmp_path,
+                                          capsys):
+        """Re-running against the just-written baseline passes.  The
+        threshold is generous because quick-mode timings on a loaded
+        CI box jitter; the tight-threshold semantics are pinned on
+        hand-built reports in TestCompareSemantics."""
+        baseline_path, __ = quick_report
+        out = tmp_path / "rerun.json"
+        code = main(["bench", "--quick", "--out", str(out),
+                     "--against", str(baseline_path),
+                     "--threshold", "900"])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_against_detects_synthetic_slowdown(self, quick_report, tmp_path,
+                                                capsys):
+        """A baseline twice as fast as reality == the current code got
+        50% slower; the gate must trip (exit 3)."""
+        __, report = quick_report
+        doctored = json.loads(json.dumps(report))
+        for bench in doctored["benchmarks"]:
+            timing = bench["timing"]
+            timing["best_s"] /= 2.0
+            timing["mean_s"] /= 2.0
+            timing["median_s"] /= 2.0
+            timing["runs_s"] = [r / 2.0 for r in timing["runs_s"]]
+        baseline = tmp_path / "fast_baseline.json"
+        baseline.write_text(json.dumps(doctored))
+        out = tmp_path / "current.json"
+        code = main(["bench", "--quick", "--out", str(out),
+                     "--against", str(baseline)])
+        assert code == 3
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_against_missing_baseline_is_usage_error(self, tmp_path):
+        out = tmp_path / "current.json"
+        code = main(["bench", "--quick", "--out", str(out),
+                     "--against", str(tmp_path / "nope.json")])
+        assert code == 2
+
+    def test_against_invalid_json_baseline_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        out = tmp_path / "current.json"
+        code = main(["bench", "--quick", "--out", str(out),
+                     "--against", str(bad)])
+        assert code == 2
+
+    def test_against_schema_invalid_baseline_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad_schema.json"
+        bad.write_text(json.dumps({"schema_version": 99, "benchmarks": []}))
+        out = tmp_path / "current.json"
+        code = main(["bench", "--quick", "--out", str(out),
+                     "--against", str(bad)])
+        assert code == 2
+
+
+class TestSeedStability:
+    def test_same_seed_same_digests(self, quick_report):
+        """Two runs with the same seed see byte-identical inputs —
+        the reproducibility contract behind the regression gate."""
+        __, first = quick_report
+        second = run_suite(quick=True, seed=0)
+        digests_a = {b["name"]: b["input_digest"] for b in first["benchmarks"]}
+        digests_b = {b["name"]: b["input_digest"] for b in second["benchmarks"]}
+        assert digests_a == digests_b
+
+    def test_different_seed_different_digests(self, quick_report):
+        __, first = quick_report
+        other = run_suite(quick=True, seed=1)
+        digests_a = {b["name"]: b["input_digest"] for b in first["benchmarks"]}
+        digests_b = {b["name"]: b["input_digest"] for b in other["benchmarks"]}
+        assert any(digests_a[n] != digests_b[n] for n in digests_a)
+
+
+def make_report(best_by_name):
+    """Minimal schema-valid report with the given best_s values."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": SUITE_NAME,
+        "protocol": {"quick": True, "seed": 0, "warmup": 1, "repeat": 2},
+        "env": {"python": "3", "numpy": "2", "platform": "test"},
+        "benchmarks": [
+            {
+                "name": name,
+                "params": {},
+                "input_digest": "0" * 64,
+                "timing": {"best_s": best, "mean_s": best, "median_s": best,
+                           "std_s": 0.0, "runs_s": [best]},
+            }
+            for name, best in best_by_name.items()
+        ],
+    }
+
+
+class TestCompareSemantics:
+    def test_threshold_is_strict(self):
+        baseline = make_report({"a": 1.0, "b": 1.0, "c": 1.0})
+        current = make_report({"a": 1.25, "b": 1.2500001, "c": 0.5})
+        comps = {c.name: c for c in compare_reports(current, baseline, 25.0)}
+        assert not comps["a"].regressed      # exactly at threshold: pass
+        assert comps["b"].regressed          # just past it: fail
+        assert not comps["c"].regressed      # faster: pass
+        assert [c.name for c in regressions(comps.values())] == ["b"]
+
+    def test_missing_benchmark_counts_as_regression(self):
+        baseline = make_report({"a": 1.0, "gone": 1.0})
+        current = make_report({"a": 1.0})
+        comps = compare_reports(current, baseline)
+        gone = next(c for c in comps if c.name == "gone")
+        assert gone.missing and gone.regressed
+
+    def test_new_benchmark_in_current_is_ignored(self):
+        baseline = make_report({"a": 1.0})
+        current = make_report({"a": 1.0, "new": 100.0})
+        comps = compare_reports(current, baseline)
+        assert [c.name for c in comps] == ["a"]
+        assert not comps[0].regressed
+
+    def test_negative_threshold_rejected(self):
+        report = make_report({"a": 1.0})
+        with pytest.raises(ValueError):
+            compare_reports(report, report, threshold_pct=-1.0)
+
+    def test_make_report_is_schema_valid(self):
+        assert validate_report(make_report({"a": 1.0})) == []
+
+    def test_validate_catches_common_corruption(self):
+        report = make_report({"a": 1.0})
+        report["benchmarks"][0]["timing"]["best_s"] = -1.0
+        assert validate_report(report)
+        report = make_report({"a": 1.0})
+        report["benchmarks"].append(dict(report["benchmarks"][0]))
+        assert any("duplicate" in e for e in validate_report(report))
+        assert validate_report([]) == ["report must be a JSON object"]
+
+
+class TestTimingPrimitives:
+    def test_protocol_validation(self):
+        with pytest.raises(ValueError):
+            BenchProtocol(warmup=-1, repeat=3)
+        with pytest.raises(ValueError):
+            BenchProtocol(warmup=0, repeat=0)
+
+    def test_measure_runs_warmup_plus_repeat(self):
+        calls = []
+        stats = measure(lambda: calls.append(1),
+                        BenchProtocol(warmup=2, repeat=3))
+        assert len(calls) == 5          # warmup + timed
+        assert len(stats.runs_s) == 3   # only timed runs recorded
+        assert stats.best_s == min(stats.runs_s)
+        assert stats.best_s <= stats.median_s
+
+    def test_measure_setup_untimed_and_passed_through(self):
+        seen = []
+        stats = measure(seen.append, BenchProtocol(warmup=1, repeat=2),
+                        setup=lambda: "fixture")
+        assert seen == ["fixture"] * 3
+        assert stats.to_dict()["std_s"] >= 0.0
+
+    def test_counter_registry(self):
+        counters = CounterRegistry()
+        counters.set("x", 2)
+        counters.add("x", 3)
+        assert counters.to_dict() == {"x": 5.0}
+
+    def test_input_digest_sensitivity(self):
+        import numpy as np
+        a = np.arange(6, dtype=np.float64)
+        assert input_digest(a) == input_digest(a.copy())
+        assert input_digest(a) != input_digest(a.astype(np.float32))
+        assert input_digest(a) != input_digest(a.reshape(2, 3))
+        assert input_digest(a) != input_digest(a, extra="salt")
+        assert len(input_digest(a)) == 64
+
+    def test_comparison_dataclass_fields(self):
+        comp = Comparison(name="a", baseline_best_s=1.0, current_best_s=2.0,
+                          ratio=2.0, regressed=True)
+        assert not comp.missing
