@@ -18,6 +18,9 @@ central mechanism and its applications:
 - :mod:`repro.contexts` -- context-recognition applications.
 - :mod:`repro.datasets` -- synthetic dataset generators replacing the
   paper's private testbed data.
+- :mod:`repro.obs` -- unified telemetry: sim-clock tracing, metrics
+  registry, and per-node cost reports (lazy; nothing imports it at
+  module scope).
 """
 
 __version__ = "1.0.0"
@@ -34,4 +37,5 @@ __all__ = [
     "faults",
     "contexts",
     "datasets",
+    "obs",
 ]

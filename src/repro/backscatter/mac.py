@@ -112,6 +112,7 @@ class _MacBase:
         rng: np.random.Generator,
         channel_error: float = 0.05,
         link_faults=None,
+        telemetry=None,
     ) -> None:
         if not devices:
             raise ValueError("need at least one device")
@@ -128,6 +129,11 @@ class _MacBase:
         self.result = CoexistenceResult()
         #: device_id -> generation time of the pending reading
         self.pending: Dict[int, float] = {}
+        if telemetry is None:
+            from repro.obs.runtime import current
+
+            telemetry = current()
+        self._telemetry = telemetry
 
     def start(self) -> None:
         """Begin reading generation and WLAN traffic."""
@@ -146,6 +152,8 @@ class _MacBase:
     def _wlan_packet(self) -> None:
         self.result.wlan_packets += 1
         self.result.wlan_airtime_s += self.wlan.airtime_s
+        if self._telemetry.enabled:
+            self._telemetry.metrics.counter("bsc.carriers", kind="wlan").inc()
         self._on_carrier(is_dummy=False)
         self._schedule_next_wlan_packet()
 
@@ -164,12 +172,17 @@ class _MacBase:
 
     def _deliver(self, device_id: int) -> bool:
         """Attempt delivery over the backscatter channel."""
+        tel = self._telemetry
         if self.link_faults is not None:
             verdict = self.link_faults.transmit_verdict(
                 device_id, kind="backscatter"
             )
             if verdict == "drop":
                 self.result.injected_drops += 1
+                if tel.enabled:
+                    tel.metrics.counter(
+                        "bsc.injected_drops", device=device_id
+                    ).inc()
                 return False
             if verdict == "duplicate":
                 # The reading arrives twice; the AP deduplicates, but
@@ -177,10 +190,18 @@ class _MacBase:
                 self.result.duplicated_readings += 1
         if self.rng.random() < self.channel_error:
             self.result.channel_errors += 1
+            if tel.enabled:
+                tel.metrics.counter(
+                    "bsc.channel_errors", device=device_id
+                ).inc()
             return False
         generated_at = self.pending.pop(device_id)
         self.result.readings_delivered += 1
-        self.result.latencies.append(self.sim.now - generated_at)
+        latency = self.sim.now - generated_at
+        self.result.latencies.append(latency)
+        if tel.enabled:
+            tel.metrics.counter("bsc.delivered", device=device_id).inc()
+            tel.metrics.histogram("bsc.latency_s").observe(latency)
         return True
 
     # Hooks for subclasses -------------------------------------------------
@@ -237,6 +258,8 @@ class ScheduledBackscatterMac(_MacBase):
             return
         self.result.dummy_packets += 1
         self.result.dummy_airtime_s += self.wlan.airtime_s
+        if self._telemetry.enabled:
+            self._telemetry.metrics.counter("bsc.carriers", kind="dummy").inc()
         self._on_carrier(is_dummy=True)
 
     def _on_carrier(self, is_dummy: bool) -> None:
@@ -288,6 +311,10 @@ class ContentionBackscatterMac(_MacBase):
             return
         if len(attempters) > 1:
             self.result.backscatter_collisions += len(attempters)
+            if self._telemetry.enabled:
+                self._telemetry.metrics.counter("bsc.collisions").inc(
+                    len(attempters)
+                )
             return
         self._deliver(attempters[0])
 

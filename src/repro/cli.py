@@ -7,13 +7,21 @@ Usage::
     python -m repro.cli info
     python -m repro.cli faults run --loss 0.2 --crashes 2
     python -m repro.cli bench --quick --against BENCH_perf.json
+    python -m repro.cli trace quickstart --out trace.jsonl
+    python -m repro.cli stats trace.jsonl
 
 ``run`` executes the named example script from the installed
 repository's ``examples/`` directory (development layout) so users can
 explore the scenarios without locating the files.  ``faults run``
 drives a MicroDeep inference through the fault-injection layer and
 reports the trace.  ``bench`` runs the performance suite, writes the
-schema-versioned report, and can gate against a previous one.
+schema-versioned report, and can gate against a previous one
+(``--trace`` additionally records the suite under a telemetry
+session).  ``trace`` runs an example with the telemetry layer
+installed and writes the Chrome-compatible JSONL trace plus a markdown
+summary; ``stats`` aggregates a written trace into the per-node
+communication-cost tables (Fig. 10 shape), optionally comparing two
+traces.
 """
 
 from __future__ import annotations
@@ -48,6 +56,8 @@ EXAMPLES: Dict[str, tuple] = {
                 "auto-generated collection schedules"),
     "faultdemo": ("fault_injection_demo.py",
                   "fault injection: crashes, loss, degraded inference"),
+    "telemetry": ("telemetry_walkthrough.py",
+                  "telemetry session -> per-node cost table (Fig. 10)"),
 }
 
 
@@ -76,22 +86,90 @@ def cmd_info() -> int:
     return 0
 
 
-def cmd_run(name: str) -> int:
-    """Execute one example script's main()."""
+def _load_example(name: str):
+    """Import one example script as a module; returns ``(module, 0)``
+    or ``(None, exit_code)`` with the error already printed."""
     if name not in EXAMPLES:
         print(f"unknown example {name!r}; run 'list' to see the choices",
               file=sys.stderr)
-        return 2
+        return None, 2
     examples = _examples_dir()
     if examples is None:
         print("examples directory not found (not a development checkout)",
               file=sys.stderr)
-        return 1
+        return None, 1
     path = examples / EXAMPLES[name][0]
     spec = importlib.util.spec_from_file_location(f"repro_example_{name}", path)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
+    return module, 0
+
+
+def cmd_run(name: str) -> int:
+    """Execute one example script's main()."""
+    module, code = _load_example(name)
+    if module is None:
+        return code
     module.main()
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one example under a telemetry session; write its trace."""
+    from repro import obs
+
+    module, code = _load_example(args.name)
+    if module is None:
+        return code
+    with obs.session() as tel:
+        module.main()
+    events = obs.export_events(tel, include_wall=args.wall)
+    out = Path(args.out)
+    obs.write_trace(tel, out, include_wall=args.wall)
+    print(f"\ntrace: {len(events)} events -> {out}")
+    if not events:
+        print("(the example manages its own telemetry sessions; "
+              "its traces were reported on stdout above)")
+    summary = obs.trace_summary_markdown(
+        events, title=f"Trace: {args.name}"
+    )
+    if args.summary:
+        Path(args.summary).write_text(summary + "\n")
+        print(f"summary -> {args.summary}")
+    else:
+        print()
+        print(summary)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Aggregate a written trace into per-node cost tables."""
+    from repro import obs
+
+    def load(path):
+        try:
+            return obs.load_trace_file(path)
+        except OSError as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+        except ValueError as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+        return None
+
+    events = load(args.trace)
+    if events is None:
+        return 2
+    if args.against is None:
+        print(obs.trace_summary_markdown(events, title=f"Trace: {args.trace}"))
+        return 0
+    other = load(args.against)
+    if other is None:
+        return 2
+    print(obs.cost_comparison_markdown(
+        obs.per_node_costs(events),
+        obs.per_node_costs(other),
+        base_label=Path(args.trace).stem,
+        other_label=Path(args.against).stem,
+    ))
     return 0
 
 
@@ -142,7 +220,18 @@ def cmd_bench(args) -> int:
 
     mode = "quick" if args.quick else "full"
     print(f"running {mode} benchmark suite (seed {args.seed}) ...")
-    report = run_suite(quick=args.quick, seed=args.seed)
+    if args.trace:
+        from repro import obs
+
+        # The session is live while the workloads build their stacks,
+        # so the suite itself is traced (the telemetry_overhead
+        # benchmark injects its backends explicitly and is immune).
+        with obs.session() as tel:
+            report = run_suite(quick=args.quick, seed=args.seed)
+        trace_path = obs.write_trace(tel, args.trace, include_wall=True)
+        print(f"telemetry trace written to {trace_path}")
+    else:
+        report = run_suite(quick=args.quick, seed=args.seed)
     errors = validate_report(report)
     if errors:  # pragma: no cover - suite always emits valid reports
         for err in errors:
@@ -243,6 +332,29 @@ def main(argv: Optional[list] = None) -> int:
                               metavar="PCT",
                               help="regression threshold in percent "
                                    "(default 25)")
+    bench_parser.add_argument("--trace", default=None, metavar="PATH",
+                              help="record the suite under a telemetry "
+                                   "session and write the JSONL trace "
+                                   "(heavy in full mode; pair with --quick)")
+    trace_parser = sub.add_parser(
+        "trace", help="run an example with telemetry on; write its trace"
+    )
+    trace_parser.add_argument("name", help="example name (see 'list')")
+    trace_parser.add_argument("--out", default="trace.jsonl", metavar="PATH",
+                              help="JSONL trace path (default trace.jsonl)")
+    trace_parser.add_argument("--summary", default=None, metavar="PATH",
+                              help="write the markdown summary to PATH "
+                                   "instead of stdout")
+    trace_parser.add_argument("--wall", action="store_true",
+                              help="include wall-clock durations (trace is "
+                                   "no longer byte-deterministic)")
+    stats_parser = sub.add_parser(
+        "stats", help="per-node cost tables from a written trace"
+    )
+    stats_parser.add_argument("trace", help="JSONL trace file (from 'trace')")
+    stats_parser.add_argument("--against", default=None, metavar="JSONL",
+                              help="second trace; print the Fig.-10-style "
+                                   "side-by-side cost comparison")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -252,6 +364,10 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_faults_run(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "trace":
+        return cmd_trace(args)
+    if args.command == "stats":
+        return cmd_stats(args)
     return cmd_run(args.name)
 
 

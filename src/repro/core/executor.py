@@ -56,6 +56,7 @@ class DistributedExecutor:
         graph: UnitGraph,
         placement: Placement,
         network: Network,
+        telemetry=None,
     ) -> None:
         if graph.model is not model:
             raise ValueError("graph was not extracted from this model")
@@ -68,6 +69,11 @@ class DistributedExecutor:
         self._aggregated_list = None
         self._owner_index = None
         self._dead_index_cache: Dict[frozenset, list] = {}
+        if telemetry is None:
+            from repro.obs.runtime import current
+
+            telemetry = current()
+        self._telemetry = telemetry
 
     def _transfers(self):
         if self._transfer_list is None:
@@ -114,12 +120,36 @@ class DistributedExecutor:
         """
         if count_traffic:
             self.replay_traffic(x.shape[0], per_element=per_element)
-        return self.model.forward(x, training=False)
+        tel = self._telemetry
+        if not tel.enabled:
+            return self.model.forward(x, training=False)
+        return self._forward_traced(x, tel)
+
+    def _forward_traced(self, x: np.ndarray, tel) -> np.ndarray:
+        """The traced twin of ``model.forward``: same layer sequence
+        (so logits are byte-identical), with one ``exec.layer`` span
+        per unit-graph layer nested in an ``exec.forward`` span."""
+        with tel.tracer.span("exec.forward", batch=int(x.shape[0])):
+            out = x
+            for entry in self.graph.layers:
+                with tel.tracer.span(
+                    "exec.layer", layer=entry.index, kind=entry.kind
+                ):
+                    out = entry.layer.forward(out, training=False)
+            return out
 
     def replay_traffic(self, batch: int, per_element: bool = False) -> None:
         """Account ``batch`` inferences' cross-node transfers on the
         network layer (the traffic half of :meth:`forward`, exposed so
         the perf harness can benchmark the replay in isolation)."""
+        tel = self._telemetry
+        if tel.enabled:
+            with tel.tracer.span("exec.replay", batch=batch):
+                self._replay_traffic_inner(batch, per_element)
+        else:
+            self._replay_traffic_inner(batch, per_element)
+
+    def _replay_traffic_inner(self, batch: int, per_element: bool) -> None:
         if per_element:
             for layer_index, src, dst, n_values in self._transfers():
                 for __ in range(batch):
@@ -248,6 +278,11 @@ class DistributedExecutor:
         dead: Set[int] = set(dead_nodes)
         if not dead:
             return self.model.forward(x, training=False)
+        tel = self._telemetry
+        if tel.enabled:
+            tel.tracer.instant(
+                "exec.dead_set", nodes=sorted(dead), batch=int(x.shape[0])
+            )
         input_index, layer_spans = self._dead_indices(frozenset(dead))
         x = np.array(x, copy=True)
         if input_index is not None:

@@ -63,11 +63,23 @@ class IntermittentPowerManager:
     modelling a power-failure-and-checkpoint cycle.
     """
 
-    def __init__(self, capacitor: Capacitor, tasks: Sequence[TaskSpec]) -> None:
+    def __init__(
+        self,
+        capacitor: Capacitor,
+        tasks: Sequence[TaskSpec],
+        name: str = "device",
+        telemetry=None,
+    ) -> None:
         if not tasks:
             raise ValueError("need at least one task")
         self.capacitor = capacitor
         self.tasks = list(tasks)
+        self.name = str(name)
+        if telemetry is None:
+            from repro.obs.runtime import current
+
+            telemetry = current()
+        self._telemetry = telemetry
 
     def run(self, trace: HarvestingTrace) -> RunReport:
         """Drive the device through the harvesting trace."""
@@ -101,7 +113,39 @@ class IntermittentPowerManager:
                     report.aborted[task.name] = report.aborted.get(task.name, 0) + 1
                     report.brown_outs += 1
                     on = False
+                    if self._telemetry.enabled:
+                        self._telemetry.tracer.instant(
+                            "energy.brownout", device=self.name, task=task.name
+                        )
             report.on_time_s += dt if on else (dt - budget)
             if not on:
                 report.off_time_s += budget
+        if self._telemetry.enabled:
+            self._report_metrics(report, trace)
         return report
+
+    def _report_metrics(self, report: RunReport, trace: HarvestingTrace) -> None:
+        """Publish one run's energy accounting (off the step loop, so
+        the untraced path pays nothing)."""
+        times = np.asarray(trace.times, dtype=float)
+        powers = np.asarray(trace.powers, dtype=float)
+        harvested = float(np.sum(powers[:-1] * np.diff(times)))
+        by_name = {task.name: task for task in self.tasks}
+        drawn = sum(
+            by_name[name].energy_j * count
+            for name, count in report.completed.items()
+            if name in by_name
+        )
+        metrics = self._telemetry.metrics
+        metrics.counter("energy.harvested_j", device=self.name).inc(harvested)
+        metrics.counter("energy.drawn_j", device=self.name).inc(drawn)
+        metrics.counter("energy.brownouts", device=self.name).inc(
+            report.brown_outs
+        )
+        for task_name, count in report.completed.items():
+            metrics.counter(
+                "energy.tasks_completed", device=self.name, task=task_name
+            ).inc(count)
+        metrics.gauge("energy.stored_j", device=self.name).set(
+            self.capacitor.energy_j
+        )

@@ -43,23 +43,39 @@ class NodeStateTracker:
         topology: Topology,
         trace: FaultTrace,
         clock: Callable[[], float],
+        telemetry=None,
     ) -> None:
         self.topology = topology
         self.trace = trace
         self.clock = clock
         self._clock_factor: Dict[int, float] = {}
+        if telemetry is None:
+            from repro.obs.runtime import current
+
+            telemetry = current()
+        self._telemetry = telemetry
+
+    def _mark(self, kind: str, **attrs) -> None:
+        """Mirror a fault transition into the telemetry trace (instant
+        event) and count it per kind."""
+        tel = self._telemetry
+        if tel.enabled:
+            tel.tracer.instant(kind, **attrs)
+            tel.metrics.counter("faults.transitions", kind=kind).inc()
 
     def crash(self, node_id: int) -> None:
         node = self.topology.node(node_id)
         if node.alive:
             node.alive = False
             self.trace.record(self.clock(), "fault.crash", node=node_id)
+            self._mark("fault.crash", node=node_id)
 
     def recover(self, node_id: int) -> None:
         node = self.topology.node(node_id)
         if not node.alive:
             node.alive = True
             self.trace.record(self.clock(), "fault.recover", node=node_id)
+            self._mark("fault.recover", node=node_id)
 
     def brownout_start(self, node_id: int, duration: float) -> None:
         """Energy brownout: down now, auto-recovery is scheduled by
@@ -68,6 +84,7 @@ class NodeStateTracker:
         self.trace.record(
             self.clock(), "fault.brownout", node=node_id, duration=duration
         )
+        self._mark("fault.brownout", node=node_id, duration=duration)
         node.alive = False
 
     def set_clock_factor(self, node_id: int, factor: float) -> None:
@@ -76,6 +93,7 @@ class NodeStateTracker:
         self.trace.record(
             self.clock(), "fault.drift", node=node_id, factor=factor
         )
+        self._mark("fault.drift", node=node_id, factor=factor)
 
     def clock_factor(self, node_id: int) -> float:
         return self._clock_factor.get(node_id, 1.0)
@@ -167,6 +185,9 @@ class ResilientExecutor:
         #: layer index (-1 = model input) -> last computed activations.
         self._stale: Dict[int, np.ndarray] = {}
         self.inferences = 0
+        from repro.obs.runtime import current
+
+        self._telemetry = current()
 
     # -- transfer replay ----------------------------------------------------
     def _feeding_layer(self, layer_index: int) -> int:
@@ -201,7 +222,10 @@ class ResilientExecutor:
             return False
         latency = self.policy.attempt_latency_s * self.tracker.clock_factor(src)
         deadline = sim.now + self.policy.timeout_s
+        tel = self._telemetry
         for attempt in range(self.policy.max_retries + 1):
+            if attempt > 0 and tel.enabled:
+                tel.metrics.counter("resilient.retries", src=src, dst=dst).inc()
             self._advance(latency)
             if sim.now > deadline:
                 trace.record(
@@ -279,9 +303,19 @@ class ResilientExecutor:
         Returns the logits; every fault hit and fallback taken during
         this call is appended to the trace.
         """
+        self.inferences += 1
+        tel = self._telemetry
+        if not tel.enabled:
+            return self._infer_inner(x)
+        with tel.tracer.span(
+            "resilient.infer", inference=self.inferences, batch=int(x.shape[0])
+        ) as span:
+            logits = self._infer_inner(x, span)
+        return logits
+
+    def _infer_inner(self, x: np.ndarray, span=None) -> np.ndarray:
         executor = self.executor
         placement = executor.placement
-        self.inferences += 1
         self.trace.record(
             self.sim.now, "exec.start",
             inference=self.inferences, batch=int(x.shape[0]),
@@ -334,6 +368,12 @@ class ResilientExecutor:
             substitutions=substitutions,
             down_nodes=sorted(down),
         )
+        if span is not None:
+            span.annotate(
+                failed_transfers=failed,
+                substitutions=substitutions,
+                down_nodes=sorted(down),
+            )
         return logits
 
     def predict(self, x: np.ndarray) -> np.ndarray:

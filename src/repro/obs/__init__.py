@@ -1,0 +1,90 @@
+"""Unified telemetry layer: tracing, metrics, and cost reports.
+
+Three pieces, designed to be wired in lazily (no module in the rest of
+the package imports :mod:`repro.obs` at import time — instrumented
+constructors resolve :func:`current` when they run):
+
+- :mod:`repro.obs.trace` — sim-clock-aware hierarchical spans,
+  serialized as Chrome-trace-event JSONL;
+- :mod:`repro.obs.metrics` — labeled counters / gauges / fixed-bucket
+  histograms with pull collectors and a zero-overhead null backend;
+- :mod:`repro.obs.report` — trace export/load plus the per-node
+  communication-cost tables reproducing the paper's Fig. 10 shape.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.session() as tel:
+        run_scenario()                  # subsystems built here report in
+    obs.write_trace(tel, "trace.jsonl")
+    print(obs.cost_table_markdown(obs.per_node_costs(obs.export_events(tel))))
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.report import (
+    cost_comparison_markdown,
+    cost_table_markdown,
+    cost_totals,
+    counter_samples,
+    export_events,
+    export_jsonl,
+    load_trace_file,
+    load_trace_jsonl,
+    per_node_costs,
+    span_summary,
+    to_chrome_json,
+    trace_summary_markdown,
+    validate_event,
+    write_trace,
+)
+from repro.obs.runtime import (
+    NULL,
+    NullTelemetry,
+    Telemetry,
+    current,
+    install,
+    session,
+    uninstall,
+)
+from repro.obs.trace import NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL",
+    "NullMetrics",
+    "NullTelemetry",
+    "NullTracer",
+    "SpanRecord",
+    "Telemetry",
+    "Tracer",
+    "cost_comparison_markdown",
+    "cost_table_markdown",
+    "cost_totals",
+    "counter_samples",
+    "current",
+    "export_events",
+    "export_jsonl",
+    "install",
+    "load_trace_file",
+    "load_trace_jsonl",
+    "per_node_costs",
+    "session",
+    "span_summary",
+    "to_chrome_json",
+    "trace_summary_markdown",
+    "uninstall",
+    "validate_event",
+    "write_trace",
+]

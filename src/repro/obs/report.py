@@ -1,0 +1,274 @@
+"""Trace export, loading, and per-node cost reports.
+
+The JSONL trace format is one Chrome trace-event object per line:
+
+- ``ph: "X"`` — a finished span (``ts``/``dur`` in microseconds of
+  *simulated* time);
+- ``ph: "i"`` — an instant event (fault injections, dead-set marks);
+- ``ph: "C"`` — a final counter sample per metric series, with the
+  series labels and ``value`` (or ``count``/``sum`` for histograms)
+  in ``args``.
+
+:func:`to_chrome_json` wraps the same events into the
+``{"traceEvents": [...]}`` envelope Chrome's ``about:tracing`` and
+Perfetto load directly.
+
+The report side turns the ``net.rx_values`` / ``net.tx_values``
+counter samples back into the paper's Fig. 10 artifact: a per-node
+communication-cost table (values received per node), optionally as a
+side-by-side comparison of two placements (optimal vs. feasible).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import Histogram
+
+#: Series names the cost report aggregates, in column order.
+COST_SERIES = ("net.rx_values", "net.tx_values")
+
+VALID_PHASES = ("X", "i", "C")
+
+
+def _metric_events(telemetry, ts_us: float) -> List[Dict]:
+    """One ``ph:"C"`` event per metric series, in canonical order."""
+    events: List[Dict] = []
+    for name, labels, instrument in telemetry.metrics.series():
+        args: Dict[str, object] = dict(labels)
+        args["kind"] = instrument.kind
+        if isinstance(instrument, Histogram):
+            args["count"] = instrument.count
+            args["sum"] = instrument.sum
+            args["p50"] = instrument.quantile_bound(0.5)
+            args["p99"] = instrument.quantile_bound(0.99)
+        else:
+            args["value"] = instrument.value
+        events.append({
+            "name": name,
+            "cat": "repro",
+            "ph": "C",
+            "ts": ts_us,
+            "pid": 0,
+            "tid": 0,
+            "args": args,
+        })
+    return events
+
+
+def export_events(telemetry, include_wall: bool = False) -> List[Dict]:
+    """All trace events of a telemetry session: finished spans and
+    instants first (completion order), then one counter sample per
+    metric series.  Runs the registry's collectors first."""
+    telemetry.metrics.collect()
+    span_events = [
+        rec.to_chrome(include_wall=include_wall)
+        for rec in telemetry.tracer.events
+    ]
+    final_ts = max(
+        (e["ts"] + e.get("dur", 0.0) for e in span_events), default=0.0
+    )
+    return span_events + _metric_events(telemetry, final_ts)
+
+
+def export_jsonl(telemetry, include_wall: bool = False) -> str:
+    """Canonical JSONL serialization of :func:`export_events` —
+    byte-identical across runs of the same seed (wall times excluded
+    unless requested)."""
+    return "\n".join(
+        json.dumps(event, sort_keys=True, separators=(",", ":"))
+        for event in export_events(telemetry, include_wall=include_wall)
+    )
+
+
+def write_trace(
+    telemetry, path, include_wall: bool = False
+) -> Path:
+    """Write the session's JSONL trace to ``path``."""
+    path = Path(path)
+    path.write_text(export_jsonl(telemetry, include_wall=include_wall) + "\n")
+    return path
+
+
+def to_chrome_json(events: Sequence[Dict]) -> str:
+    """The ``{"traceEvents": [...]}`` envelope Chrome tracing loads."""
+    return json.dumps({"traceEvents": list(events)}, sort_keys=True)
+
+
+def load_trace_jsonl(text: str) -> List[Dict]:
+    """Parse a JSONL trace; raises ``ValueError`` naming the first
+    offending line on malformed input."""
+    events: List[Dict] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not valid JSON: {exc}") from None
+        errors = validate_event(event)
+        if errors:
+            raise ValueError(f"line {lineno}: {'; '.join(errors)}")
+        events.append(event)
+    return events
+
+
+def load_trace_file(path) -> List[Dict]:
+    return load_trace_jsonl(Path(path).read_text())
+
+
+def validate_event(event) -> List[str]:
+    """Schema errors of one trace event ([] when valid)."""
+    errors: List[str] = []
+    if not isinstance(event, dict):
+        return [f"event must be an object, got {type(event).__name__}"]
+    if not isinstance(event.get("name"), str) or not event.get("name"):
+        errors.append("missing or empty 'name'")
+    phase = event.get("ph")
+    if phase not in VALID_PHASES:
+        errors.append(f"'ph' must be one of {VALID_PHASES}, got {phase!r}")
+    if not isinstance(event.get("ts"), (int, float)):
+        errors.append("'ts' must be a number")
+    if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+        errors.append("complete spans need a numeric 'dur'")
+    if not isinstance(event.get("args", {}), dict):
+        errors.append("'args' must be an object")
+    for field in ("pid", "tid"):
+        if field in event and not isinstance(event[field], int):
+            errors.append(f"'{field}' must be an integer")
+    return errors
+
+
+# -- aggregation ------------------------------------------------------------
+def counter_samples(events: Sequence[Dict], name: str) -> List[Dict]:
+    """The ``args`` of every ``ph:"C"`` sample of a series name (last
+    write wins per label set when a trace holds repeated exports)."""
+    latest: Dict[tuple, Dict] = {}
+    for event in events:
+        if event.get("ph") == "C" and event.get("name") == name:
+            args = event.get("args", {})
+            key = tuple(sorted(
+                (k, str(v)) for k, v in args.items()
+                if k not in ("value", "count", "sum", "p50", "p99", "kind")
+            ))
+            latest[key] = args
+    return [latest[key] for key in sorted(latest)]
+
+
+def per_node_costs(events: Sequence[Dict]) -> Dict[int, Dict[str, float]]:
+    """Per-node communication cost from a trace's ``net.*`` samples.
+
+    Returns ``{node_id: {"rx_values": ..., "tx_values": ...}}`` — the
+    Fig. 10 quantity (values a node receives per run) plus the transmit
+    side.
+    """
+    costs: Dict[int, Dict[str, float]] = {}
+    for series in COST_SERIES:
+        for args in counter_samples(events, series):
+            if "node" not in args:
+                continue
+            node = int(args["node"])
+            costs.setdefault(node, {}).setdefault(series.split(".", 1)[1], 0.0)
+            costs[node][series.split(".", 1)[1]] += float(args["value"])
+    return costs
+
+
+def cost_totals(costs: Dict[int, Dict[str, float]]) -> Dict[str, float]:
+    totals: Dict[str, float] = {}
+    for per_node in costs.values():
+        for key, value in per_node.items():
+            totals[key] = totals.get(key, 0.0) + value
+    return totals
+
+
+def cost_table_markdown(
+    costs: Dict[int, Dict[str, float]], title: str = "Per-node communication cost"
+) -> str:
+    """Fig.-10-style markdown table: one row per node, totals + peak."""
+    lines = [f"### {title}", "", "| node | rx values | tx values |",
+             "|---:|---:|---:|"]
+    peak_node, peak_rx = None, -1.0
+    for node in sorted(costs):
+        rx = costs[node].get("rx_values", 0.0)
+        tx = costs[node].get("tx_values", 0.0)
+        if rx > peak_rx:
+            peak_node, peak_rx = node, rx
+        lines.append(f"| {node} | {rx:.0f} | {tx:.0f} |")
+    totals = cost_totals(costs)
+    lines.append(
+        f"| **total** | **{totals.get('rx_values', 0.0):.0f}** "
+        f"| **{totals.get('tx_values', 0.0):.0f}** |"
+    )
+    if peak_node is not None:
+        lines += ["", f"Peak receiver: node {peak_node} "
+                      f"({peak_rx:.0f} values) — the paper's 'maximal "
+                      "communication cost of the sensor nodes'."]
+    return "\n".join(lines)
+
+
+def cost_comparison_markdown(
+    base: Dict[int, Dict[str, float]],
+    other: Dict[int, Dict[str, float]],
+    base_label: str = "optimal",
+    other_label: str = "feasible",
+) -> str:
+    """Side-by-side per-node rx-value comparison of two placements —
+    the shape of the paper's Fig. 10 (optimal vs. feasible sets)."""
+    nodes = sorted(set(base) | set(other))
+    lines = [
+        f"### Per-node cost: {base_label} vs. {other_label}",
+        "",
+        f"| node | rx ({base_label}) | rx ({other_label}) | ratio |",
+        "|---:|---:|---:|---:|",
+    ]
+    for node in nodes:
+        a = base.get(node, {}).get("rx_values", 0.0)
+        b = other.get(node, {}).get("rx_values", 0.0)
+        ratio = f"{b / a:.2f}x" if a > 0 else ("-" if b == 0 else "inf")
+        lines.append(f"| {node} | {a:.0f} | {b:.0f} | {ratio} |")
+    a_peak = max((v.get("rx_values", 0.0) for v in base.values()), default=0.0)
+    b_peak = max((v.get("rx_values", 0.0) for v in other.values()), default=0.0)
+    lines += [
+        f"| **peak** | **{a_peak:.0f}** | **{b_peak:.0f}** | "
+        f"**{(b_peak / a_peak):.2f}x** |" if a_peak else
+        f"| **peak** | **{a_peak:.0f}** | **{b_peak:.0f}** | - |",
+    ]
+    return "\n".join(lines)
+
+
+def span_summary(events: Sequence[Dict]) -> Dict[str, int]:
+    """Span/instant counts per name, in first-seen order."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        if event.get("ph") in ("X", "i"):
+            name = event["name"]
+            counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def trace_summary_markdown(
+    events: Sequence[Dict], title: str = "Trace summary"
+) -> str:
+    """Human-readable markdown digest of one trace."""
+    spans = span_summary(events)
+    n_samples = sum(1 for e in events if e.get("ph") == "C")
+    ts_values = [e["ts"] for e in events if e.get("ph") in ("X", "i")]
+    lines = [
+        f"# {title}", "",
+        f"- events: {len(events)} ({sum(spans.values())} spans/instants, "
+        f"{n_samples} metric samples)",
+    ]
+    if ts_values:
+        lines.append(
+            f"- simulated time range: {min(ts_values) / 1e6:.6f}s – "
+            f"{max(ts_values) / 1e6:.6f}s"
+        )
+    if spans:
+        lines += ["", "| span | count |", "|---|---:|"]
+        lines += [f"| {name} | {count} |" for name, count in spans.items()]
+    costs = per_node_costs(events)
+    if costs:
+        lines += ["", cost_table_markdown(costs)]
+    return "\n".join(lines)

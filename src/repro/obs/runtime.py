@@ -1,0 +1,98 @@
+"""Telemetry bundle and the process-wide current backend.
+
+Instrumented modules never import :mod:`repro.obs` at module scope
+(a lint in the test suite enforces it); instead their constructors
+resolve :func:`current` lazily, so building a :class:`Simulator`,
+:class:`Network`, executor, MAC, or power manager *while a telemetry
+session is installed* wires it up automatically::
+
+    with obs.session() as tel:
+        main()                       # everything built here is traced
+    tel.tracer.to_jsonl()
+
+When nothing is installed, :func:`current` returns the module-level
+:data:`NULL` backend — every hot-path guard reduces to one attribute
+check (``telemetry.enabled`` is ``False``) and every emitted metric or
+span is a no-op, which is the zero-overhead-when-disabled contract the
+perf suite pins.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.trace import NullTracer, Tracer
+
+
+class Telemetry:
+    """A live tracer + metrics registry pair."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def clear(self) -> None:
+        """Drop recorded spans and metric series (bindings stay)."""
+        self.tracer.clear()
+        self.metrics.clear()
+
+
+class NullTelemetry:
+    """The disabled backend: inert tracer and registry."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.tracer = NullTracer()
+        self.metrics = NullMetrics()
+
+    def clear(self) -> None:
+        pass
+
+
+#: The shared disabled backend returned by :func:`current` when no
+#: session is installed.
+NULL = NullTelemetry()
+
+_current = NULL
+
+
+def current():
+    """The process-wide telemetry backend (:data:`NULL` when off)."""
+    return _current
+
+
+def install(telemetry: Optional[Telemetry] = None) -> Telemetry:
+    """Make ``telemetry`` (a fresh one when omitted) the current
+    backend; newly constructed subsystems pick it up."""
+    global _current
+    tel = telemetry if telemetry is not None else Telemetry()
+    _current = tel
+    return tel
+
+
+def uninstall() -> None:
+    """Restore the :data:`NULL` backend."""
+    global _current
+    _current = NULL
+
+
+@contextmanager
+def session(telemetry: Optional[Telemetry] = None) -> Iterator[Telemetry]:
+    """Install a telemetry backend for the duration of a block;
+    restores whatever was current before (sessions nest)."""
+    global _current
+    previous = _current
+    tel = install(telemetry)
+    try:
+        yield tel
+    finally:
+        _current = previous

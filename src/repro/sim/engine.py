@@ -25,11 +25,20 @@ class Simulator:
     order.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, telemetry=None) -> None:
         self._now = float(start_time)
         self._queue = EventQueue()
         self._running = False
         self._processed = 0
+        if telemetry is None:
+            from repro.obs.runtime import current
+
+            telemetry = current()
+        self._telemetry = telemetry
+        if telemetry.enabled:
+            # Spans recorded anywhere while this simulator exists are
+            # stamped with its virtual clock (last simulator wins).
+            telemetry.tracer.bind_clock(lambda: self._now)
 
     @property
     def now(self) -> float:
@@ -101,6 +110,16 @@ class Simulator:
         """Cancel a scheduled event; a no-op if it already fired."""
         self._queue.cancel(event)
 
+    def _fire_traced(self, event: Event) -> None:
+        """Dispatch one event inside a ``sim.event`` span (same span
+        shape from :meth:`run`, :meth:`run_batch`, and :meth:`step`,
+        so traces are identical across drain strategies)."""
+        with self._telemetry.tracer.span(
+            "sim.event",
+            name=event.name or getattr(event.callback, "__name__", "event"),
+        ):
+            event.fire()
+
     def step(self) -> bool:
         """Execute the next event. Returns False when the queue is empty."""
         try:
@@ -109,7 +128,10 @@ class Simulator:
             return False
         self._now = event.time
         self._processed += 1
-        event.fire()
+        if self._telemetry.enabled:
+            self._fire_traced(event)
+        else:
+            event.fire()
         return True
 
     def run(
@@ -180,6 +202,7 @@ class Simulator:
             )
         executed = 0
         queue = self._queue
+        traced = self._telemetry.enabled
         self._running = True
         try:
             while queue:
@@ -193,7 +216,10 @@ class Simulator:
                 self._now = event.time
                 self._processed += 1
                 executed += 1
-                event.fire()
+                if traced:
+                    self._fire_traced(event)
+                else:
+                    event.fire()
             else:
                 if until is not None and until > self._now:
                     self._now = until

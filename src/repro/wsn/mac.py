@@ -46,6 +46,7 @@ class TdmaMac:
         slot_duration: float,
         on_delivery: Optional[Callable[[int, object], None]] = None,
         link_faults=None,
+        telemetry=None,
     ) -> None:
         if not node_ids:
             raise ValueError("need at least one node")
@@ -62,6 +63,16 @@ class TdmaMac:
         self.stats = MacStats()
         self._slot_index = 0
         self._running = False
+        if telemetry is None:
+            from repro.obs.runtime import current
+
+            telemetry = current()
+        self._telemetry = telemetry
+
+    def _queue_gauge(self, node_id: int) -> None:
+        self._telemetry.metrics.gauge(
+            "mac.queue_depth", mac="tdma", node=node_id
+        ).set(len(self.queues[node_id]))
 
     @property
     def frame_duration(self) -> float:
@@ -72,6 +83,8 @@ class TdmaMac:
         if node_id not in self.queues:
             raise KeyError(f"node {node_id} is not in the schedule")
         self.queues[node_id].append(packet)
+        if self._telemetry.enabled:
+            self._queue_gauge(node_id)
 
     def start(self) -> None:
         if self._running:
@@ -86,6 +99,8 @@ class TdmaMac:
         if queue:
             packet = queue.pop(0)
             self.stats.attempted += 1
+            if self._telemetry.enabled:
+                self._queue_gauge(owner)
             self._transmit(owner, packet)
         self.sim.schedule(self.slot_duration, self._slot)
 
@@ -95,13 +110,20 @@ class TdmaMac:
         verdict = "deliver"
         if self.link_faults is not None:
             verdict = self.link_faults.transmit_verdict(owner, kind="tdma")
+        tel = self._telemetry
+        if tel.enabled:
+            tel.metrics.counter("mac.attempted", mac="tdma", node=owner).inc()
         if verdict == "drop":
             self.stats.dropped += 1
+            if tel.enabled:
+                tel.metrics.counter("mac.dropped", mac="tdma", node=owner).inc()
             return
         deliveries = 2 if verdict == "duplicate" else 1
         if verdict == "duplicate":
             self.stats.duplicated += 1
         self.stats.delivered += 1
+        if tel.enabled:
+            tel.metrics.counter("mac.delivered", mac="tdma", node=owner).inc()
         if self.on_delivery is not None:
             for __ in range(deliveries):
                 self.on_delivery(owner, packet)
@@ -124,6 +146,7 @@ class CsmaMac:
         max_attempts: int = 7,
         on_delivery: Optional[Callable[[int, object], None]] = None,
         link_faults=None,
+        telemetry=None,
     ) -> None:
         if slot_duration <= 0:
             raise ValueError(f"slot_duration must be positive, got {slot_duration}")
@@ -137,6 +160,11 @@ class CsmaMac:
         if link_faults is not None:
             link_faults.bind_clock(lambda: sim.now)
         self.stats = MacStats()
+        if telemetry is None:
+            from repro.obs.runtime import current
+
+            telemetry = current()
+        self._telemetry = telemetry
         #: packets contending in the current slot: list of (node, packet, attempt)
         self._current_slot_tx: List[tuple] = []
         self._slot_scheduled = False
@@ -170,6 +198,15 @@ class CsmaMac:
         if not contenders:
             return
         self.stats.attempted += len(contenders)
+        tel = self._telemetry
+        if tel.enabled:
+            tel.metrics.gauge("mac.slot_contenders", mac="csma").set(
+                len(contenders)
+            )
+            for node_id, __, ___ in contenders:
+                tel.metrics.counter(
+                    "mac.attempted", mac="csma", node=node_id
+                ).inc()
         if len(contenders) == 1:
             node_id, packet, attempt = contenders[0]
             verdict = "deliver"
@@ -179,6 +216,10 @@ class CsmaMac:
                 # An injected loss looks like a collision to the
                 # sender: it backs off and retries.
                 self.stats.dropped += 1
+                if tel.enabled:
+                    tel.metrics.counter(
+                        "mac.dropped", mac="csma", node=node_id
+                    ).inc()
                 if attempt + 1 < self.max_attempts:
                     self.offer(node_id, packet, attempt + 1)
                 return
@@ -186,11 +227,20 @@ class CsmaMac:
             if verdict == "duplicate":
                 self.stats.duplicated += 1
             self.stats.delivered += 1
+            if tel.enabled:
+                tel.metrics.counter(
+                    "mac.delivered", mac="csma", node=node_id
+                ).inc()
             if self.on_delivery is not None:
                 for __ in range(deliveries):
                     self.on_delivery(node_id, packet)
             return
         self.stats.collided += len(contenders)
+        if tel.enabled:
+            for node_id, __, ___ in contenders:
+                tel.metrics.counter(
+                    "mac.collided", mac="csma", node=node_id
+                ).inc()
         for node_id, packet, attempt in contenders:
             if attempt + 1 < self.max_attempts:
                 self.offer(node_id, packet, attempt + 1)

@@ -5,12 +5,22 @@ sensor node receives per inference" (Fig. 10's y-axis).  This layer
 counts both packets and values at every hop so the distributed
 executor's measured costs can be checked against the static cost model
 (a property the test suite enforces).
+
+All per-hop tallies — node counters, aggregate stats, per-link values
+— advance through the single :meth:`Network._account_hop` choke point,
+and drops are attributed to a cause (``fault`` / ``loss`` /
+``unroutable``).  When a telemetry session is installed
+(:mod:`repro.obs`), the network registers a pull collector that mirrors
+its counters into the metrics registry with zero hot-path overhead,
+and :meth:`telemetry_drift` re-derives every tally three ways as a
+reconciliation assertion (the chaos suite runs it under lossy
+``unicast_bulk`` fallback).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +50,10 @@ class TrafficStats:
     total_hops: int = 0
     per_node_rx_values: Dict[int, int] = field(default_factory=dict)
     per_node_tx_values: Dict[int, int] = field(default_factory=dict)
+    #: Drops attributed to why they happened: ``"fault"`` (injected
+    #: link fault), ``"loss"`` (random loss after retries), or
+    #: ``"unroutable"`` (no route).  Sums to :attr:`dropped`.
+    dropped_causes: Dict[str, int] = field(default_factory=dict)
 
     def max_rx_values(self) -> int:
         """Peak per-node received values — the paper's 'maximal
@@ -63,6 +77,9 @@ class Network:
             hop; it may drop the hop, corrupt the message (airtime is
             paid but delivery fails), or duplicate it (the receiving
             side of the hop pays twice).
+        telemetry: explicit :class:`repro.obs.Telemetry` override; by
+            default the currently installed session (the null backend
+            when none) is resolved lazily.
     """
 
     def __init__(
@@ -72,6 +89,7 @@ class Network:
         max_retries: int = 3,
         rng: Optional[np.random.Generator] = None,
         link_faults=None,
+        telemetry=None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError(
@@ -85,8 +103,35 @@ class Network:
         self._rng = rng
         self.link_faults = link_faults
         self.stats = TrafficStats()
+        if telemetry is None:
+            from repro.obs.runtime import current
+
+            telemetry = current()
+        self._telemetry = telemetry
+        #: (src, dst) -> values carried over that link; tracked only
+        #: while telemetry is enabled (per-link series in the trace).
+        self._link_values: Optional[Dict[Tuple[int, int], int]] = (
+            {} if telemetry.enabled else None
+        )
+        #: Metric values this network has pushed into the registry so
+        #: far; the collector pushes deltas, making repeated collects
+        #: idempotent and :meth:`reset_stats` retractable.
+        self._pushed: Dict[tuple, float] = {}
+        if telemetry.enabled:
+            telemetry.metrics.register_collector(self._sync_metrics)
 
     def reset_stats(self) -> None:
+        tel = self._telemetry
+        if tel.enabled and self._pushed:
+            # Retract this network's contribution so the registry keeps
+            # mirroring the (now reset) stats exactly.
+            for key, value in self._pushed.items():
+                name = key[0]
+                labels = dict(key[1:])
+                tel.metrics.counter(name, **labels).value -= value
+        self._pushed = {}
+        if self._link_values is not None:
+            self._link_values = {}
         self.stats = TrafficStats()
         for node in self.topology:
             node.reset_counters()
@@ -99,6 +144,40 @@ class Network:
                 return True
         return False
 
+    # -- accounting choke points --------------------------------------------
+    def _account_hop(
+        self, hop_src: int, hop_dst: int, n_packets: int, n_values: int
+    ) -> None:
+        """The single place per-hop traffic is tallied: node counters,
+        aggregate stats, and per-link telemetry advance together here,
+        so the three views cannot drift."""
+        src_node = self.topology.node(hop_src)
+        dst_node = self.topology.node(hop_dst)
+        src_node.tx_count += n_packets
+        src_node.tx_values += n_values
+        dst_node.rx_count += n_packets
+        dst_node.rx_values += n_values
+        stats = self.stats
+        stats.per_node_tx_values[hop_src] = (
+            stats.per_node_tx_values.get(hop_src, 0) + n_values
+        )
+        stats.per_node_rx_values[hop_dst] = (
+            stats.per_node_rx_values.get(hop_dst, 0) + n_values
+        )
+        stats.total_hops += n_packets
+        link_track = self._link_values
+        if link_track is not None:
+            key = (hop_src, hop_dst)
+            link_track[key] = link_track.get(key, 0) + n_values
+
+    def _drop(self, cause: str, count: int = 1) -> None:
+        """Account ``count`` dropped messages attributed to ``cause``."""
+        stats = self.stats
+        stats.dropped += count
+        stats.dropped_causes[cause] = (
+            stats.dropped_causes.get(cause, 0) + count
+        )
+
     def unicast(self, message: Message) -> bool:
         """Route a message hop by hop; returns delivery success.
 
@@ -110,7 +189,7 @@ class Network:
         self.stats.sent += 1
         route = shortest_path_route(self.topology, message.src, message.dst)
         if route is None:
-            self.stats.dropped += 1
+            self._drop("unroutable")
             return False
         corrupted = False
         for hop_src, hop_dst in zip(route, route[1:]):
@@ -120,32 +199,19 @@ class Network:
                     hop_src, hop_dst, message.kind
                 )
             if verdict == "drop":
-                self.stats.dropped += 1
+                self._drop("fault")
                 return False
             if not self._hop_succeeds():
-                self.stats.dropped += 1
+                self._drop("loss")
                 return False
             repeats = 2 if verdict == "duplicate" else 1
             if verdict == "duplicate":
                 self.stats.duplicated += 1
             if verdict == "corrupt":
                 corrupted = True
-            src_node = self.topology.node(hop_src)
-            dst_node = self.topology.node(hop_dst)
-            for __ in range(repeats):
-                src_node.tx_count += 1
-                src_node.tx_values += message.n_values
-                dst_node.rx_count += 1
-                dst_node.rx_values += message.n_values
-                self.stats.per_node_tx_values[hop_src] = (
-                    self.stats.per_node_tx_values.get(hop_src, 0)
-                    + message.n_values
-                )
-                self.stats.per_node_rx_values[hop_dst] = (
-                    self.stats.per_node_rx_values.get(hop_dst, 0)
-                    + message.n_values
-                )
-                self.stats.total_hops += 1
+            self._account_hop(
+                hop_src, hop_dst, repeats, repeats * message.n_values
+            )
         if corrupted:
             # Airtime was paid on every hop, but the payload fails its
             # integrity check at the destination.
@@ -160,8 +226,9 @@ class Network:
         On ideal links (no loss, no fault model) this is the vectorized
         equivalent of calling :meth:`unicast` ``copies`` times: the
         route is resolved **once** and every counter — packet counts,
-        per-node tx/rx values, hop totals — is advanced by the same
-        amounts the per-message loop would produce, so traffic stats
+        per-node tx/rx values, hop totals, per-link telemetry — is
+        advanced by the same amounts the per-message loop would
+        produce (counter-exact scaled accounting), so traffic stats
         stay byte-identical while the Python cost drops from
         ``O(copies x hops)`` to ``O(hops)``.
 
@@ -178,23 +245,11 @@ class Network:
         self.stats.sent += copies
         route = shortest_path_route(self.topology, message.src, message.dst)
         if route is None:
-            self.stats.dropped += copies
+            self._drop("unroutable", copies)
             return 0
         values = message.n_values * copies
         for hop_src, hop_dst in zip(route, route[1:]):
-            src_node = self.topology.node(hop_src)
-            dst_node = self.topology.node(hop_dst)
-            src_node.tx_count += copies
-            src_node.tx_values += values
-            dst_node.rx_count += copies
-            dst_node.rx_values += values
-            self.stats.per_node_tx_values[hop_src] = (
-                self.stats.per_node_tx_values.get(hop_src, 0) + values
-            )
-            self.stats.per_node_rx_values[hop_dst] = (
-                self.stats.per_node_rx_values.get(hop_dst, 0) + values
-            )
-            self.stats.total_hops += copies
+            self._account_hop(hop_src, hop_dst, copies, values)
         self.stats.delivered += copies
         return copies
 
@@ -208,3 +263,111 @@ class Network:
             if self.unicast(Message(src, node.node_id, n_values, kind="bcast")):
                 reached += 1
         return reached
+
+    # -- telemetry ----------------------------------------------------------
+    def _sync_metrics(self, registry) -> None:
+        """Pull collector: mirror the traffic stats into the metrics
+        registry by pushing deltas since the previous collect.  The
+        registry ends up holding exactly what the stats hold (summed
+        across networks sharing the session), with zero per-packet
+        overhead on the send paths."""
+        stats = self.stats
+        pushed = self._pushed
+
+        def push(name: str, value, **labels) -> None:
+            key = (name,) + tuple(sorted(labels.items()))
+            delta = value - pushed.get(key, 0.0)
+            if delta:
+                registry.counter(name, **labels).inc(delta)
+                pushed[key] = float(value)
+
+        push("net.sent", stats.sent)
+        push("net.delivered", stats.delivered)
+        push("net.dropped", stats.dropped)
+        push("net.corrupted", stats.corrupted)
+        push("net.duplicated", stats.duplicated)
+        push("net.hops", stats.total_hops)
+        for cause, value in stats.dropped_causes.items():
+            push("net.dropped_causes", value, cause=cause)
+        for node, value in stats.per_node_rx_values.items():
+            push("net.rx_values", value, node=node)
+        for node, value in stats.per_node_tx_values.items():
+            push("net.tx_values", value, node=node)
+        if self._link_values:
+            for (src, dst), value in self._link_values.items():
+                push("net.link_values", value, src=src, dst=dst)
+
+    def telemetry_drift(self) -> List[str]:
+        """Reconciliation assertion: re-derive every tally from its
+        three sources — per-node counters on the nodes, the aggregate
+        :class:`TrafficStats`, and (when a session is installed and
+        this network is its only traffic source) the metrics registry
+        — and describe every mismatch.  Returns ``[]`` when all views
+        agree, which the chaos suite asserts under lossy
+        ``unicast_bulk`` fallback."""
+        problems: List[str] = []
+        stats = self.stats
+        for node in self.topology:
+            for attr, per_node in (
+                ("rx_values", stats.per_node_rx_values),
+                ("tx_values", stats.per_node_tx_values),
+            ):
+                have = getattr(node, attr)
+                want = per_node.get(node.node_id, 0)
+                if have != want:
+                    problems.append(
+                        f"node {node.node_id} {attr}: counter {have} != "
+                        f"stats {want}"
+                    )
+        if stats.sent != stats.delivered + stats.dropped + stats.corrupted:
+            problems.append(
+                f"outcomes do not partition sends: sent {stats.sent} != "
+                f"delivered {stats.delivered} + dropped {stats.dropped} + "
+                f"corrupted {stats.corrupted}"
+            )
+        if stats.dropped != sum(stats.dropped_causes.values()):
+            problems.append(
+                f"drop causes do not sum: dropped {stats.dropped} != "
+                f"{stats.dropped_causes}"
+            )
+        tel = self._telemetry
+        if tel.enabled:
+            tel.metrics.collect()
+            registry = tel.metrics
+            scalar_checks = (
+                ("net.sent", stats.sent),
+                ("net.delivered", stats.delivered),
+                ("net.dropped", stats.dropped),
+                ("net.corrupted", stats.corrupted),
+                ("net.duplicated", stats.duplicated),
+                ("net.hops", stats.total_hops),
+            )
+            for name, want in scalar_checks:
+                have = registry.value(name)
+                if have != want:
+                    problems.append(
+                        f"registry {name}: {have} != stats {want}"
+                    )
+            for node, want in stats.per_node_rx_values.items():
+                have = registry.value("net.rx_values", node=node)
+                if have != want:
+                    problems.append(
+                        f"registry net.rx_values node {node}: {have} != "
+                        f"stats {want}"
+                    )
+            for node, want in stats.per_node_tx_values.items():
+                have = registry.value("net.tx_values", node=node)
+                if have != want:
+                    problems.append(
+                        f"registry net.tx_values node {node}: {have} != "
+                        f"stats {want}"
+                    )
+            if self._link_values is not None:
+                link_total = sum(self._link_values.values())
+                rx_total = sum(stats.per_node_rx_values.values())
+                if link_total != rx_total:
+                    problems.append(
+                        f"per-link values {link_total} != per-node rx "
+                        f"total {rx_total}"
+                    )
+        return problems

@@ -159,3 +159,55 @@ def test_recovery_restores_accuracy(trained):
 @pytest.mark.parametrize("seed", SWEEP_SEEDS)
 def test_chaos_sweep(trained, seed):
     run_chaos_seed(trained, seed)
+
+
+# -- telemetry reconciliation (the metrics registry is the single -----------
+# -- source of truth for per-node tallies) ----------------------------------
+@pytest.mark.chaos
+def test_telemetry_reconciles_with_fault_trace(trained):
+    """Under faults, the network's three views (node counters, stats,
+    metrics registry) agree, and cause-attributed drop counts match
+    the FaultTrace event-for-event."""
+    from repro import obs
+
+    scenario, x, y = trained
+    plan = FaultPlan(seed=7, loss_rate=0.2, duplicate_rate=0.1).crash(0.0, 2)
+    with obs.session():
+        run = inject(scenario, plan)
+        run.infer(x[:8])
+        assert run.network.telemetry_drift() == []
+        stats = run.network.stats
+        assert stats.dropped_causes.get("fault", 0) == len(
+            run.trace.of_kind("link.drop")
+        )
+        assert stats.duplicated == len(run.trace.of_kind("link.duplicate"))
+        assert stats.corrupted == len(run.trace.of_kind("link.corrupt"))
+
+
+@pytest.mark.chaos
+def test_telemetry_reconciles_under_lossy_bulk_fallback(trained):
+    """`unicast_bulk` falls back to the per-message loop on lossy
+    links; the reconciliation must survive that path too."""
+    from repro import obs
+    from repro.core import DistributedExecutor
+    from repro.wsn import Network
+
+    scenario, __, __ = trained
+    for node in scenario.topology:  # revive nodes crashed by earlier runs
+        node.alive = True
+    with obs.session():
+        network = Network(
+            scenario.topology,
+            loss_probability=0.3,
+            max_retries=1,
+            rng=np.random.default_rng(42),
+        )
+        network.reset_stats()  # the module-scoped topology is shared
+        executor = DistributedExecutor(
+            scenario.model, scenario.graph, scenario.placement, network
+        )
+        executor.replay_traffic(8)
+        assert network.telemetry_drift() == []
+        stats = network.stats
+        assert stats.dropped > 0  # the lossy path actually exercised
+        assert set(stats.dropped_causes) == {"loss"}

@@ -1,0 +1,89 @@
+"""Lint: telemetry must stay lazy.
+
+No module outside ``src/repro/obs/`` may import ``repro.obs`` at module
+scope — instrumented subsystems resolve :func:`repro.obs.current`
+inside function bodies instead, so importing (say) ``repro.wsn`` never
+pays for the telemetry layer and the disabled path stays a single
+``telemetry.enabled`` attribute check.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def iter_source_files():
+    for path in sorted(SRC.rglob("*.py")):
+        if "obs" in path.relative_to(SRC).parts[:1]:
+            continue
+        yield path
+
+
+def module_scope_obs_imports(tree):
+    """Import statements touching repro.obs outside function bodies.
+
+    Walks module, class, and control-flow bodies but does not descend
+    into function definitions — imports there are the sanctioned lazy
+    form.
+    """
+    offenders = []
+    stack = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Import):
+            if any(a.name == "repro.obs" or a.name.startswith("repro.obs.")
+                   for a in node.names):
+                offenders.append(node.lineno)
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if mod == "repro.obs" or mod.startswith("repro.obs."):
+                offenders.append(node.lineno)
+            elif mod == "repro" and any(a.name == "obs" for a in node.names):
+                offenders.append(node.lineno)
+        else:
+            stack.extend(ast.iter_child_nodes(node))
+    return offenders
+
+
+def test_no_module_scope_obs_imports():
+    offenders = []
+    for path in iter_source_files():
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno in module_scope_obs_imports(tree):
+            offenders.append(f"{path.relative_to(SRC.parent)}:{lineno}")
+    assert offenders == [], (
+        "repro.obs imported at module scope (must be lazy, inside a "
+        f"function body): {offenders}"
+    )
+
+
+def test_lint_covers_the_instrumented_modules():
+    """The sweep actually visits the files the telemetry layer hooks."""
+    names = {p.relative_to(SRC).as_posix() for p in iter_source_files()}
+    for expected in (
+        "sim/engine.py", "wsn/network.py", "wsn/mac.py",
+        "backscatter/mac.py", "core/executor.py", "energy/manager.py",
+        "faults/runtime.py", "cli.py",
+    ):
+        assert expected in names
+    assert not any(name.startswith("obs/") for name in names)
+
+
+def test_lint_detects_a_violation():
+    """The detector itself works on all three import spellings."""
+    for src in (
+        "import repro.obs\n",
+        "from repro.obs import current\n",
+        "from repro import obs\n",
+        "if True:\n    from repro.obs.trace import Tracer\n",
+    ):
+        assert module_scope_obs_imports(ast.parse(src)), src
+    for src in (
+        "def f():\n    from repro.obs import current\n",
+        "from repro.wsn import Network\n",
+        "import repro.observatory\n",
+    ):
+        assert not module_scope_obs_imports(ast.parse(src)), src
