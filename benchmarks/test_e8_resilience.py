@@ -131,7 +131,15 @@ def test_e8_accuracy_vs_loss_rate(experiment):
     fault-injection layer, sweeping the packet-loss rate.  Inference
     never hangs — drops are retried within a bounded budget, then
     stale activations (or zeros) substitute for the missing units —
-    and every fallback shows up in the structured trace."""
+    and every fallback shows up in the structured trace.
+
+    The curve is computed through the sweep engine
+    (:func:`repro.faults.sweeps.loss_rate_point` under
+    :func:`repro.par.run_sweep`), the same path ``repro sweep`` and
+    the parallel determinism pin below use."""
+    from repro.faults import loss_rate_point, scenario_shared
+    from repro.par import make_points, run_sweep
+
     result, _, (x_te, y_te) = experiment
     scenario = FaultScenario(
         model=result.model,
@@ -139,26 +147,26 @@ def test_e8_accuracy_vs_loss_rate(experiment):
         placement=result.placement,
         topology=GridTopology(4, 4),
     )
+    shared = scenario_shared(scenario, x_te, y_te)
+    points = make_points(grid={"loss_rate": LOSS_RATES})
+    report = run_sweep(
+        "repro.faults.sweeps:loss_rate_point",
+        points, jobs=1, root_seed=0, shared=shared,
+    )
+
     rows = []
     accuracies = []
-    for loss in LOSS_RATES:
-        run = inject(
-            scenario,
-            FaultPlan(seed=13, loss_rate=loss),
-            policy=RetryPolicy(max_retries=2),
-        )
-        acc = run.accuracy(x_te, y_te, chunks=4)
-        accuracies.append(acc)
-        summary = run.trace.summary()
+    for value in report.values():
+        accuracies.append(value["accuracy"])
         rows.append([
-            f"{loss:.0%}",
-            f"{acc:.4f}",
-            str(summary.get("link.drop", 0)),
-            str(summary.get("retry.recovered", 0)),
-            str(summary.get("degrade.transfer-failed", 0)),
+            f"{value['loss_rate']:.0%}",
+            f"{value['accuracy']:.4f}",
+            str(value["drops"]),
+            str(value["retries_recovered"]),
+            str(value["transfers_exhausted"]),
         ])
-        assert run.executor.inferences == 4  # no hangs
-        assert run.trace.is_time_monotonic()
+        assert value["inferences"] == 4  # no hangs
+        assert value["time_monotonic"]
     print_table(
         "E8: fall-detection accuracy vs. packet-loss rate (fault layer)",
         ["loss rate", "accuracy", "drops", "retries ok", "exhausted"],
@@ -170,3 +178,42 @@ def test_e8_accuracy_vs_loss_rate(experiment):
     assert accuracies[0] > 0.82
     assert accuracies[-1] <= accuracies[0]
     assert all(np.isfinite(a) for a in accuracies)
+
+    # The cross-check the old in-line loop provided: the sweep task
+    # reproduces a direct inject() at one representative rate.
+    run = inject(
+        scenario,
+        FaultPlan(seed=13, loss_rate=LOSS_RATES[2]),
+        policy=RetryPolicy(max_retries=2),
+    )
+    assert run.accuracy(x_te, y_te, chunks=4) == pytest.approx(
+        accuracies[2]
+    )
+
+
+def test_e8_loss_curve_parallel_identical_to_serial(experiment):
+    """Determinism pin on the E8 curve: two worker processes merge to
+    the byte-identical report of the serial sweep (bounded test set so
+    the doubled run stays cheap)."""
+    from repro.faults import scenario_shared
+    from repro.par import make_points, run_sweep
+
+    result, _, (x_te, y_te) = experiment
+    scenario = FaultScenario(
+        model=result.model,
+        graph=UnitGraph(result.model),
+        placement=result.placement,
+        topology=GridTopology(4, 4),
+    )
+    shared = scenario_shared(scenario, x_te[:32], y_te[:32])
+    points = make_points(grid={"loss_rate": [0.0, 0.2, 0.5]})
+    serial = run_sweep(
+        "repro.faults.sweeps:loss_rate_point",
+        points, jobs=1, root_seed=0, shared=shared,
+    )
+    parallel = run_sweep(
+        "repro.faults.sweeps:loss_rate_point",
+        points, jobs=2, root_seed=0, shared=shared, chunk_size=1,
+    )
+    assert parallel.canonical_json() == serial.canonical_json()
+    assert parallel.digest() == serial.digest()

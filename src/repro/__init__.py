@@ -21,6 +21,9 @@ central mechanism and its applications:
 - :mod:`repro.obs` -- unified telemetry: sim-clock tracing, metrics
   registry, and per-node cost reports (lazy; nothing imports it at
   module scope).
+- :mod:`repro.par` -- deterministic process-parallel sweep engine
+  (seed substreams, chunked work stealing, canonical result merge);
+  the only package allowed to create process pools.
 """
 
 __version__ = "1.0.0"
@@ -38,4 +41,5 @@ __all__ = [
     "contexts",
     "datasets",
     "obs",
+    "par",
 ]

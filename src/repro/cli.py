@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli info
     python -m repro.cli faults run --loss 0.2 --crashes 2
     python -m repro.cli bench --quick --against BENCH_perf.json
+    python -m repro.cli bench --jobs 4
+    python -m repro.cli sweep chaos --seeds 0-4 --grid loss_rate=0.0,0.2,0.4
     python -m repro.cli trace quickstart --out trace.jsonl
     python -m repro.cli stats trace.jsonl
 
@@ -21,7 +23,15 @@ session).  ``trace`` runs an example with the telemetry layer
 installed and writes the Chrome-compatible JSONL trace plus a markdown
 summary; ``stats`` aggregates a written trace into the per-node
 communication-cost tables (Fig. 10 shape), optionally comparing two
-traces.
+traces.  ``sweep`` fans a registered task over a seed list × config
+grid through the deterministic process-parallel engine
+(:mod:`repro.par`) — the JSON report is identical whatever ``--jobs``,
+except for the ``wall`` timing section.
+
+Exit codes: 0 success; 2 usage error (unknown example/task, bad
+``--grid``/``--seeds`` spec, unreadable or schema-invalid ``bench
+--against`` baseline); 3 ``bench`` performance regression against the
+baseline.
 """
 
 from __future__ import annotations
@@ -219,19 +229,24 @@ def cmd_bench(args) -> int:
     from repro.perf import compare_reports, run_suite, validate_report
 
     mode = "quick" if args.quick else "full"
-    print(f"running {mode} benchmark suite (seed {args.seed}) ...")
+    jobs = max(1, args.jobs)
+    note = f" with {jobs} workers" if jobs > 1 else ""
+    print(f"running {mode} benchmark suite (seed {args.seed}){note} ...")
     if args.trace:
         from repro import obs
 
+        if jobs > 1:
+            print("note: --trace records the parent process only; "
+                  "worker-side benchmarks are not traced")
         # The session is live while the workloads build their stacks,
         # so the suite itself is traced (the telemetry_overhead
         # benchmark injects its backends explicitly and is immune).
         with obs.session() as tel:
-            report = run_suite(quick=args.quick, seed=args.seed)
+            report = run_suite(quick=args.quick, seed=args.seed, jobs=jobs)
         trace_path = obs.write_trace(tel, args.trace, include_wall=True)
         print(f"telemetry trace written to {trace_path}")
     else:
-        report = run_suite(quick=args.quick, seed=args.seed)
+        report = run_suite(quick=args.quick, seed=args.seed, jobs=jobs)
     errors = validate_report(report)
     if errors:  # pragma: no cover - suite always emits valid reports
         for err in errors:
@@ -286,6 +301,104 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _parse_scalar(text: str):
+    """int, then float, then bool, then the bare string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _parse_seeds(spec: str) -> list:
+    """``"0,3,7"`` and ``"0-4"`` (inclusive) forms, freely mixed."""
+    seeds = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        lo, dash, hi = part.partition("-")
+        if dash and lo:
+            seeds.extend(range(int(lo), int(hi) + 1))
+        else:
+            seeds.append(int(part))
+    if not seeds:
+        raise ValueError(f"empty seed spec {spec!r}")
+    return seeds
+
+
+def _parse_grid(entries) -> dict:
+    """``key=v1,v2,...`` entries into an ordered value-list dict."""
+    grid = {}
+    for entry in entries or []:
+        key, eq, values = entry.partition("=")
+        if not eq or not key or not values:
+            raise ValueError(
+                f"grid entry {entry!r} is not of the form key=v1,v2,..."
+            )
+        grid[key] = [_parse_scalar(v) for v in values.split(",")]
+    return grid
+
+
+def cmd_sweep(args) -> int:
+    """Fan a registered task over seeds × grid; write the report."""
+    import json
+
+    from repro.par import available_tasks, make_points, run_sweep
+
+    tasks = available_tasks()
+    if args.list:
+        print("registered sweep tasks (repro sweep <task>):")
+        for name, description in tasks.items():
+            print(f"  {name:12s} {description}")
+        return 0
+    if args.task is None:
+        print("a task name is required (or --list)", file=sys.stderr)
+        return 2
+    if args.task not in tasks:
+        print(f"unknown sweep task {args.task!r}; registered: "
+              f"{', '.join(tasks)}", file=sys.stderr)
+        return 2
+    try:
+        seeds = _parse_seeds(args.seeds)
+        grid = _parse_grid(args.grid)
+        base = _parse_grid(args.set)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    base_config = {k: v[0] for k, v in base.items()}
+    points = make_points(seeds=seeds, grid=grid, base_config=base_config)
+    print(f"sweeping {args.task!r}: {len(points)} points "
+          f"({len(seeds)} seeds x {max(1, len(points) // len(seeds))} "
+          f"configs), jobs={args.jobs}, root seed {args.root_seed}")
+    report = run_sweep(
+        args.task, points, jobs=args.jobs, root_seed=args.root_seed
+    )
+
+    header = f"{'idx':>4s} {'seed':>6s} {'config':32s} result"
+    print(header)
+    for result in report.results:
+        config = json.dumps(result.config, sort_keys=True)
+        if isinstance(result.value, dict) and "accuracy" in result.value:
+            shown = f"accuracy={result.value['accuracy']:.4f}"
+        else:
+            shown = json.dumps(result.value, sort_keys=True)[:48]
+        print(f"{result.index:4d} {str(result.seed):>6s} {config:32s} {shown}")
+    print(f"\nmerged trace digest: {report.merged_trace_digest()}")
+    print(f"report digest:       {report.digest()}")
+    print(f"elapsed: {report.elapsed_s:.2f}s with {report.jobs} job(s)")
+    if args.out:
+        doc = report.to_dict(include_wall=True)
+        Path(args.out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {args.out}")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """Argument parsing and dispatch; returns the exit code."""
     parser = argparse.ArgumentParser(
@@ -336,6 +449,36 @@ def main(argv: Optional[list] = None) -> int:
                               help="record the suite under a telemetry "
                                    "session and write the JSONL trace "
                                    "(heavy in full mode; pair with --quick)")
+    bench_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                              help="run independent benchmarks on N worker "
+                                   "processes (each timing loop stays "
+                                   "pinned to one worker; default 1)")
+    sweep_parser = sub.add_parser(
+        "sweep", help="fan a registered task over seeds x config grid "
+                      "(deterministic process-parallel engine)"
+    )
+    sweep_parser.add_argument("task", nargs="?", default=None,
+                              help="registered task name (see --list)")
+    sweep_parser.add_argument("--seeds", default="0", metavar="SPEC",
+                              help="seed list: '0,1,2' and/or '0-4' "
+                                   "(default '0')")
+    sweep_parser.add_argument("--grid", action="append", metavar="KEY=V1,V2",
+                              help="config axis (repeatable); the sweep "
+                                   "covers the cartesian product")
+    sweep_parser.add_argument("--set", action="append", metavar="KEY=VALUE",
+                              help="fixed config entry applied to every "
+                                   "point (repeatable)")
+    sweep_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                              help="worker processes (default 1; the JSON "
+                                   "report is identical for any N, modulo "
+                                   "the wall section)")
+    sweep_parser.add_argument("--root-seed", type=int, default=0,
+                              help="root of the per-point RNG substreams "
+                                   "(default 0)")
+    sweep_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="write the JSON report to PATH")
+    sweep_parser.add_argument("--list", action="store_true",
+                              help="list the registered tasks and exit")
     trace_parser = sub.add_parser(
         "trace", help="run an example with telemetry on; write its trace"
     )
@@ -364,6 +507,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_faults_run(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "sweep":
+        return cmd_sweep(args)
     if args.command == "trace":
         return cmd_trace(args)
     if args.command == "stats":

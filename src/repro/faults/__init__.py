@@ -42,9 +42,18 @@ from repro.faults.scenario import (
     inject,
     toy_field_task,
 )
+from repro.faults.sweeps import (
+    CHAOS_LOSS_RATES,
+    build_chaos_shared,
+    chaos_cell_point,
+    chaos_curve_point,
+    loss_rate_point,
+    scenario_shared,
+)
 from repro.faults.trace import FaultTrace, TraceRecord
 
 __all__ = [
+    "CHAOS_LOSS_RATES",
     "EVENT_KINDS",
     "FaultEvent",
     "FaultInjection",
@@ -57,9 +66,13 @@ __all__ = [
     "RetryPolicy",
     "TraceRecord",
     "TrainingFaultAdapter",
+    "build_chaos_shared",
+    "chaos_cell_point",
+    "chaos_curve_point",
     "degraded_radio",
     "demo_scenario",
     "inject",
-    "schedule_plan",
+    "loss_rate_point",
+    "scenario_shared",
     "toy_field_task",
 ]

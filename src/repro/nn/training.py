@@ -66,7 +66,16 @@ class Trainer:
         With ``patience`` set and validation data supplied, training
         stops after that many epochs without a validation-accuracy
         improvement and the best weights are restored.
+
+        Raises:
+            ValueError: if ``x`` is empty — an empty dataset would
+                otherwise surface as a ``ZeroDivisionError`` deep in
+                the epoch averaging.
         """
+        if x.shape[0] == 0:
+            raise ValueError(
+                "cannot fit on an empty dataset (x has 0 samples)"
+            )
         if not self.model.built:
             self.model.build(x.shape[1:], rng)
         history = TrainingHistory()
@@ -116,8 +125,17 @@ class Trainer:
         return history
 
     def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> tuple:
-        """Return ``(mean_loss, accuracy)`` on the given data."""
+        """Return ``(mean_loss, accuracy)`` on the given data.
+
+        Raises:
+            ValueError: if ``x`` is empty — there is no mean loss or
+                accuracy of zero samples.
+        """
         n = x.shape[0]
+        if n == 0:
+            raise ValueError(
+                "cannot evaluate on an empty dataset (x has 0 samples)"
+            )
         total_loss = 0.0
         correct = 0
         for start in range(0, n, batch_size):

@@ -28,6 +28,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetrics,
+    merge_snapshots,
 )
 from repro.obs.report import (
     cost_comparison_markdown,
@@ -54,7 +55,7 @@ from repro.obs.runtime import (
     session,
     uninstall,
 )
-from repro.obs.trace import NullTracer, SpanRecord, Tracer
+from repro.obs.trace import NullTracer, SpanRecord, Tracer, merge_digests
 
 __all__ = [
     "Counter",
@@ -79,6 +80,8 @@ __all__ = [
     "install",
     "load_trace_file",
     "load_trace_jsonl",
+    "merge_digests",
+    "merge_snapshots",
     "per_node_costs",
     "session",
     "span_summary",

@@ -197,6 +197,73 @@ class MetricsRegistry:
         """Drop every series (collectors stay registered)."""
         self._series = {}
 
+    # -- mergeable snapshots ------------------------------------------------
+    def snapshot(self) -> List[List]:
+        """Canonical, picklable dump of every series.
+
+        Runs :meth:`collect` first so externally-kept counters are
+        synced, then emits ``[name, [[label, value], ...], kind,
+        payload]`` entries in the canonical :meth:`series` order —
+        counters/gauges carry their scalar, histograms a dict of
+        buckets/counts/sum/count.  The format is what sweep workers
+        ship back to the parent for an order-independent merge.
+        """
+        self.collect()
+        out: List[List] = []
+        for name, labels, instrument in self.series():
+            label_items = [[k, v] for k, v in sorted(labels.items())]
+            if isinstance(instrument, Histogram):
+                payload: object = {
+                    "buckets": list(instrument.buckets),
+                    "counts": list(instrument.counts),
+                    "sum": instrument.sum,
+                    "count": instrument.count,
+                }
+            else:
+                payload = instrument.value
+            out.append([name, label_items, instrument.kind, payload])
+        return out
+
+    def merge_snapshot(self, snapshot: List[List]) -> None:
+        """Fold one :meth:`snapshot` into this registry.
+
+        Counters and histograms accumulate (commutative, so merging a
+        set of worker snapshots is order-independent); gauges are
+        last-write-wins, so callers merge snapshots in a canonical
+        order (the sweep engine uses ascending point index).
+        """
+        for name, label_items, kind, payload in snapshot:
+            labels = {str(k): v for k, v in label_items}
+            if kind == "counter":
+                self.counter(name, **labels).inc(float(payload))
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(float(payload))
+            elif kind == "histogram":
+                hist = self.histogram(
+                    name, buckets=tuple(payload["buckets"]), **labels
+                )
+                if hist.buckets != tuple(
+                    float(b) for b in payload["buckets"]
+                ) or len(hist.counts) != len(payload["counts"]):
+                    raise ValueError(
+                        f"histogram {name!r} bucket mismatch on merge"
+                    )
+                for i, count in enumerate(payload["counts"]):
+                    hist.counts[i] += int(count)
+                hist.sum += float(payload["sum"])
+                hist.count += int(payload["count"])
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r}")
+
+
+def merge_snapshots(snapshots) -> "MetricsRegistry":
+    """A fresh registry holding the fold of ``snapshots`` (applied in
+    the given order — pass them in canonical point order)."""
+    registry = MetricsRegistry()
+    for snap in snapshots:
+        registry.merge_snapshot(snap)
+    return registry
+
 
 # -- null backend -----------------------------------------------------------
 class _NullCounter:
@@ -274,4 +341,10 @@ class NullMetrics:
         return 0.0
 
     def clear(self) -> None:
+        pass
+
+    def snapshot(self) -> List:
+        return []
+
+    def merge_snapshot(self, snapshot) -> None:
         pass

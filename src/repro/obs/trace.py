@@ -239,6 +239,19 @@ class Tracer:
         return hashlib.sha256(self.to_jsonl().encode("utf-8")).hexdigest()
 
 
+def merge_digests(digests) -> str:
+    """Combined SHA-256 over an ordered sequence of per-run trace
+    digests — the parent-side merge of per-worker traces.  Pass the
+    digests in canonical (point-index) order; the result is then
+    independent of which worker produced which digest and of their
+    completion order."""
+    h = hashlib.sha256()
+    for digest in digests:
+        h.update(str(digest).encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
 class _NullSpan:
     """Shared no-op span handle."""
 

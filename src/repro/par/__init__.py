@@ -1,0 +1,49 @@
+"""Deterministic process-parallel sweeps (``repro.par``).
+
+The package behind ``repro sweep`` and ``repro bench --jobs``:
+
+- :mod:`repro.par.sweep` — the engine: :func:`run_sweep` fans
+  :class:`SweepPoint`\\s over a spawn-based process pool with chunked
+  work-stealing scheduling, per-point RNG substreams
+  (``SeedSequence.spawn``), per-point telemetry sessions, and a
+  canonical merge asserted byte-identical to the serial run;
+- :mod:`repro.par.worker` — the spawn-safe worker entry points;
+- :mod:`repro.par.tasks` — the named task registry the CLI exposes.
+
+This is the **only** package allowed to create process pools or import
+:mod:`multiprocessing` at module scope (an AST lint enforces it), so
+every parallel execution path in the repo shares the same determinism
+contract.
+"""
+
+from repro.par.sweep import (
+    SWEEP_SCHEMA_VERSION,
+    SWEEP_SUITE_NAME,
+    PointResult,
+    SweepPoint,
+    SweepReport,
+    default_chunk_size,
+    make_points,
+    resolve_task,
+    run_sweep,
+    strip_wall_fields,
+    task_ref,
+)
+from repro.par.tasks import REGISTRY, available_tasks, sweep_task
+
+__all__ = [
+    "PointResult",
+    "REGISTRY",
+    "SWEEP_SCHEMA_VERSION",
+    "SWEEP_SUITE_NAME",
+    "SweepPoint",
+    "SweepReport",
+    "available_tasks",
+    "default_chunk_size",
+    "make_points",
+    "resolve_task",
+    "run_sweep",
+    "strip_wall_fields",
+    "sweep_task",
+    "task_ref",
+]

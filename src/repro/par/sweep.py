@@ -1,0 +1,357 @@
+"""Deterministic process-parallel sweep engine.
+
+A *sweep* is a list of :class:`SweepPoint`\\s — (seed, config) pairs —
+run through one spawn-safe task function.  The engine's contract is
+the one the chaos suite and the benchmark curves pin:
+
+**the merged result of a parallel run is byte-identical to the serial
+run** (``jobs=1``), whatever the worker count, chunking, or completion
+order.  Three mechanisms deliver that:
+
+- *deterministic RNG substreams*: every point gets the child
+  :class:`numpy.random.SeedSequence` spawned at its index from one
+  root sequence, so its random draws do not depend on which process
+  (or in which order) it runs — the data-parallel discipline of
+  parameter-server training (Li et al., OSDI 2014) applied to
+  simulation sweeps;
+- *per-point telemetry sessions*: each point runs under its own
+  :func:`repro.obs.session`, and the worker ships back a canonical
+  metrics snapshot plus the trace digest; the parent merges them in
+  ascending point index, never in completion order;
+- *a canonical result-merge step*: :meth:`SweepReport.to_dict`
+  excludes every wall-clock field by default, so the report (and its
+  :meth:`~SweepReport.digest`) depends only on the points' values.
+
+Scheduling is chunked work-stealing: the payload list is cut into
+small chunks fed through ``Pool.imap_unordered``, so idle workers pull
+the next chunk from the shared queue instead of being handed a fixed
+shard up front.
+
+Tasks must be **spawn-safe**: a top-level function (resolvable as
+``"module:qualname"``) with picklable arguments and no reliance on
+module-scope side effects.  Large read-only inputs (a trained
+scenario, a test set) travel once per worker via ``shared`` — they are
+pickled into the pool initializer, not into every chunk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import math
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep coordinate: an index, a seed, and a config dict.
+
+    ``index`` is the point's canonical position (merge order);
+    ``seed`` is the user-facing seed recorded in reports (tasks may
+    also use it directly, e.g. for a :class:`FaultPlan`); ``config``
+    must be picklable and JSON-stable.
+    """
+
+    index: int
+    seed: Optional[int]
+    config: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class PointResult:
+    """One completed point, as shipped back from a worker.
+
+    ``wall_s`` and ``worker`` are diagnostics only — they are excluded
+    from the canonical serialization so parallel and serial runs
+    compare byte-identical.
+    """
+
+    index: int
+    seed: Optional[int]
+    config: Dict[str, object]
+    value: object
+    metrics: List
+    trace_digest: str
+    trace_events: int
+    wall_s: float
+    worker: str
+
+    def to_dict(self, include_wall: bool = False) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "index": self.index,
+            "seed": self.seed,
+            "config": self.config,
+            "value": self.value,
+            "metrics": self.metrics,
+            "trace_digest": self.trace_digest,
+            "trace_events": self.trace_events,
+        }
+        if include_wall:
+            out["wall_s"] = self.wall_s
+            out["worker"] = self.worker
+        return out
+
+
+SWEEP_SCHEMA_VERSION = 1
+SWEEP_SUITE_NAME = "repro-sweep"
+
+
+@dataclass
+class SweepReport:
+    """All point results plus the canonical merge.
+
+    ``results`` is always sorted by point index — the merge order —
+    regardless of the order workers completed them in.
+    """
+
+    task: str
+    root_seed: int
+    results: List[PointResult]
+    jobs: int
+    elapsed_s: float
+
+    def values(self) -> List[object]:
+        return [r.value for r in self.results]
+
+    def merged_metrics(self):
+        """A fresh :class:`repro.obs.MetricsRegistry` folding every
+        point's snapshot in index order."""
+        from repro.obs import merge_snapshots
+
+        return merge_snapshots(r.metrics for r in self.results)
+
+    def merged_trace_digest(self) -> str:
+        """Combined digest of the per-point traces, in index order."""
+        from repro.obs import merge_digests
+
+        return merge_digests(r.trace_digest for r in self.results)
+
+    def to_dict(self, include_wall: bool = False) -> Dict[str, object]:
+        """The report as a JSON-stable dict.
+
+        The default form is **canonical**: no wall times, no worker
+        ids, no job count — two runs of the same sweep serialize
+        byte-identically whatever the parallelism.  With
+        ``include_wall=True`` the timing diagnostics ride along under
+        a single ``"wall"`` key (and per-point ``wall_s``/``worker``
+        fields), so consumers can strip them uniformly.
+        """
+        from repro.obs.trace import canonical_value
+
+        merged_metrics = self.merged_metrics().snapshot()
+        doc: Dict[str, object] = {
+            "schema_version": SWEEP_SCHEMA_VERSION,
+            "suite": SWEEP_SUITE_NAME,
+            "task": self.task,
+            "root_seed": self.root_seed,
+            "n_points": len(self.results),
+            "points": [
+                canonical_value(r.to_dict(include_wall=include_wall))
+                for r in self.results
+            ],
+            "merged": {
+                "trace_digest": self.merged_trace_digest(),
+                "metrics": canonical_value(merged_metrics),
+            },
+        }
+        if include_wall:
+            doc["wall"] = {
+                "jobs": self.jobs,
+                "elapsed_s": self.elapsed_s,
+            }
+        return doc
+
+    def canonical_json(self) -> str:
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical serialization — the determinism
+        pin tests compare across ``jobs`` settings."""
+        return hashlib.sha256(
+            self.canonical_json().encode("utf-8")
+        ).hexdigest()
+
+
+def strip_wall_fields(doc: Dict) -> Dict:
+    """A deep copy of a ``to_dict(include_wall=True)`` report with
+    every wall-time field removed — what "identical modulo wall time"
+    means, in one place."""
+    out = json.loads(json.dumps(doc))
+    out.pop("wall", None)
+    for point in out.get("points", []):
+        point.pop("wall_s", None)
+        point.pop("worker", None)
+    return out
+
+
+def make_points(
+    seeds: Optional[Sequence[Optional[int]]] = None,
+    grid: Optional[Dict[str, Sequence[object]]] = None,
+    base_config: Optional[Dict[str, object]] = None,
+) -> List[SweepPoint]:
+    """The cartesian product of a seed list and a config grid.
+
+    Seeds vary slowest, then grid keys in their given order; indices
+    are assigned in that enumeration order.  ``base_config`` entries
+    are merged under every grid combination.
+    """
+    from itertools import product
+
+    seed_list = list(seeds) if seeds else [None]
+    grid = grid or {}
+    keys = list(grid)
+    value_lists = [list(grid[k]) for k in keys]
+    points: List[SweepPoint] = []
+    for seed in seed_list:
+        for combo in product(*value_lists):
+            config = dict(base_config or {})
+            config.update(zip(keys, combo))
+            points.append(
+                SweepPoint(index=len(points), seed=seed, config=config)
+            )
+    return points
+
+
+def task_ref(task: Union[str, Callable]) -> str:
+    """Normalize a task to its spawn-safe reference.
+
+    Accepts a registry name (``"chaos"``), a ``"module:qualname"``
+    string, or a top-level callable.  Raises :class:`ValueError` when
+    the task cannot be resolved back from its reference — nested
+    functions, lambdas, and unimportable modules fail *here*, before
+    any pool is spawned, so a sweep that works at ``jobs=1`` cannot
+    start failing at ``jobs=4``.
+    """
+    if callable(task):
+        qualname = getattr(task, "__qualname__", "")
+        module = getattr(task, "__module__", "")
+        if "<locals>" in qualname or "<lambda>" in qualname:
+            raise ValueError(
+                f"task {qualname or task!r} is not a top-level function; "
+                "spawn-based workers need an importable "
+                "'module:qualname' entry point"
+            )
+        ref = f"{module}:{qualname}"
+        if resolve_task(ref) is not task:
+            raise ValueError(
+                f"task reference {ref!r} does not resolve back to the "
+                "given callable"
+            )
+        return ref
+    ref = str(task)
+    resolve_task(ref)  # raises on unknown names / bad modules
+    return ref
+
+
+def resolve_task(ref: str) -> Callable:
+    """A task callable from its reference (registry name first, then
+    ``module:qualname``)."""
+    if ":" not in ref:
+        from repro.par.tasks import REGISTRY
+
+        if ref not in REGISTRY:
+            raise ValueError(
+                f"unknown sweep task {ref!r}; registered: "
+                f"{sorted(REGISTRY)}"
+            )
+        return REGISTRY[ref]
+    module_name, __, qualname = ref.partition(":")
+    module = importlib.import_module(module_name)
+    obj = module
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not callable(obj):
+        raise ValueError(f"task reference {ref!r} is not callable")
+    return obj
+
+
+def _chunked(items: List, chunk_size: int) -> List[List]:
+    return [
+        items[i : i + chunk_size] for i in range(0, len(items), chunk_size)
+    ]
+
+
+def default_chunk_size(n_points: int, jobs: int) -> int:
+    """Small chunks (about four waves per worker) so the shared queue
+    behaves as work stealing: a worker that drew cheap points comes
+    back for more instead of idling."""
+    return max(1, math.ceil(n_points / (jobs * 4)))
+
+
+def run_sweep(
+    task: Union[str, Callable],
+    points: Sequence[SweepPoint],
+    jobs: int = 1,
+    root_seed: int = 0,
+    shared: Optional[object] = None,
+    chunk_size: Optional[int] = None,
+    mp_context: str = "spawn",
+    telemetry: bool = True,
+) -> SweepReport:
+    """Run ``task`` over ``points`` with ``jobs`` worker processes.
+
+    ``jobs=1`` runs every point in-process through the *same*
+    per-point code path the workers use — it is the reference the
+    parallel merge is asserted byte-identical to, not a separate
+    implementation.  ``shared`` is delivered to each worker once (via
+    the pool initializer); ``telemetry=False`` skips the per-point
+    observability session for timing-sensitive tasks (the ``bench
+    --jobs`` fan-out) at the cost of empty metrics snapshots.
+    """
+    import numpy as np
+
+    from repro.par import worker
+
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    points = list(points)
+    indices = [p.index for p in points]
+    if len(set(indices)) != len(indices):
+        raise ValueError(f"sweep point indices must be unique: {indices}")
+    ref = task_ref(task)
+    children = np.random.SeedSequence(root_seed).spawn(max(len(points), 1))
+    payloads = [
+        (p.index, p.seed, dict(p.config), children[i])
+        for i, p in enumerate(points)
+    ]
+    start = time.perf_counter()
+    if jobs == 1 or len(points) <= 1:
+        fn = resolve_task(ref)
+        results = [
+            worker.run_point(fn, payload, shared, telemetry=telemetry)
+            for payload in payloads
+        ]
+    else:
+        if multiprocessing.current_process().daemon:
+            raise ValueError(
+                "nested parallel sweeps are not supported: this process "
+                "is already a daemonic pool worker (use jobs=1 here)"
+            )
+        if chunk_size is None:
+            chunk_size = default_chunk_size(len(points), jobs)
+        chunks = _chunked(payloads, chunk_size)
+        ctx = multiprocessing.get_context(mp_context)
+        with ctx.Pool(
+            processes=min(jobs, len(chunks)),
+            initializer=worker.init_worker,
+            initargs=(ref, shared, telemetry),
+        ) as pool:
+            results = []
+            for chunk_results in pool.imap_unordered(
+                worker.run_chunk, chunks, chunksize=1
+            ):
+                results.extend(chunk_results)
+    results.sort(key=lambda r: r.index)
+    return SweepReport(
+        task=ref,
+        root_seed=int(root_seed),
+        results=results,
+        jobs=int(jobs),
+        elapsed_s=time.perf_counter() - start,
+    )

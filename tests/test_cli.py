@@ -37,3 +37,58 @@ class TestCli:
         assert examples is not None
         for __, (filename, __d) in EXAMPLES.items():
             assert (examples / filename).exists(), filename
+
+
+class TestSweepCli:
+    def test_list(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos" in out and "rng" in out
+
+    def test_requires_task(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "task name is required" in capsys.readouterr().err
+
+    def test_unknown_task(self, capsys):
+        assert main(["sweep", "teleportation"]) == 2
+        assert "unknown sweep task" in capsys.readouterr().err
+
+    def test_bad_grid_entry(self, capsys):
+        assert main(["sweep", "rng", "--grid", "nonsense"]) == 2
+        assert "not of the form" in capsys.readouterr().err
+
+    def test_parse_seeds_mixed_forms(self):
+        from repro.cli import _parse_seeds
+
+        assert _parse_seeds("0,3,7") == [0, 3, 7]
+        assert _parse_seeds("0-4") == [0, 1, 2, 3, 4]
+        assert _parse_seeds("9, 1-3") == [9, 1, 2, 3]
+        with pytest.raises(ValueError):
+            _parse_seeds(",")
+
+    def test_parse_scalar_casts(self):
+        from repro.cli import _parse_scalar
+
+        assert _parse_scalar("3") == 3 and isinstance(_parse_scalar("3"), int)
+        assert _parse_scalar("0.5") == 0.5
+        assert _parse_scalar("true") is True
+        assert _parse_scalar("name") == "name"
+
+    def test_jobs_reports_identical_modulo_wall(self, tmp_path, capsys):
+        """The acceptance pin: ``repro sweep --jobs 1`` and ``--jobs 4``
+        write identical JSON reports modulo wall-time fields."""
+        import json
+
+        from repro.par import strip_wall_fields
+
+        out1 = tmp_path / "sweep1.json"
+        out4 = tmp_path / "sweep4.json"
+        base = ["sweep", "rng", "--seeds", "0-2", "--grid", "k=1,2"]
+        assert main(base + ["--jobs", "1", "--out", str(out1)]) == 0
+        assert main(base + ["--jobs", "4", "--out", str(out4)]) == 0
+        capsys.readouterr()  # drain the tables
+        doc1 = json.loads(out1.read_text())
+        doc4 = json.loads(out4.read_text())
+        assert doc1["wall"]["jobs"] == 1
+        assert doc4["wall"]["jobs"] == 4
+        assert strip_wall_fields(doc1) == strip_wall_fields(doc4)

@@ -50,3 +50,30 @@ def test_examples_all_have_main():
         source = path.read_text()
         assert "def main()" in source, path.name
         assert '__name__ == "__main__"' in source, path.name
+
+
+@pytest.mark.parametrize(
+    "name", sorted(p.name for p in EXAMPLES.glob("*.py"))
+)
+def test_import_has_no_side_effects(name, capsys):
+    """Importing an example must do no work: no output, no training.
+
+    This is the spawn-safety contract the parallel sweep engine relies
+    on — the ``example`` sweep task imports these modules inside
+    worker processes, so anything running at import time would run
+    once per worker (and garble the captured stdout fingerprints).
+    """
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(
+        f"example_import_check_{name[:-3]}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    captured = capsys.readouterr()
+    assert captured.out == "", f"{name} printed at import time"
+    assert captured.err == "", f"{name} wrote stderr at import time"
+    assert callable(getattr(module, "main", None)), name

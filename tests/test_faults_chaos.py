@@ -12,9 +12,16 @@ invariants the paper's setting demands:
   0 to 0.5, and the clean run is never beaten by a faulty one by more
   than the tolerance.
 
+The per-seed workload lives in
+:func:`repro.faults.sweeps.chaos_curve_point` — a spawn-safe sweep
+task — so the same code path serves the serial tier-1 checks, the
+parallel determinism pin, and the opt-in large sweep, which fans out
+over worker processes via :func:`repro.par.run_sweep`.
+
 The default seed set is small enough for tier-1; set
 ``REPRO_CHAOS_SWEEP=1`` to run the larger opt-in sweep
-(``pytest -m chaos_sweep``).
+(``pytest -m chaos_sweep``), and ``REPRO_CHAOS_JOBS=N`` to pick its
+worker count (default 2).
 """
 
 import os
@@ -22,11 +29,20 @@ import os
 import numpy as np
 import pytest
 
-from repro.faults import FaultPlan, RetryPolicy, demo_scenario, inject
+from repro.faults import (
+    CHAOS_LOSS_RATES,
+    FaultPlan,
+    chaos_curve_point,
+    demo_scenario,
+    inject,
+    scenario_shared,
+)
+from repro.par import SweepPoint, make_points, run_sweep
 
+CHAOS_TASK = "repro.faults.sweeps:chaos_curve_point"
 CHAOS_SEEDS = [0, 1, 2, 3, 4]
 SWEEP_SEEDS = list(range(5, 25))
-LOSS_RATES = [0.0, 0.15, 0.3, 0.5]
+LOSS_RATES = list(CHAOS_LOSS_RATES)
 #: Accuracy may wiggle up between adjacent loss rates by at most this
 #: much.  The slack is wide because each plan also crashes a node: when
 #: the crash hits a load-bearing unit the whole curve sits near chance,
@@ -42,52 +58,42 @@ def trained():
     return scenario, x, y
 
 
-def run_chaos_seed(trained, seed: int) -> None:
-    scenario, x, y = trained
-    node_ids = sorted(scenario.topology.nodes)
-    policy = RetryPolicy(max_retries=2)
-    accuracies = []
-    for loss in LOSS_RATES:
-        plan = FaultPlan.random(
-            seed=seed,
-            node_ids=node_ids,
-            horizon=0.5,
-            loss_rate=loss,
-            n_crashes=1,
-            n_brownouts=1,
-        )
-        run = inject(scenario, plan, policy=policy)
-        acc = run.accuracy(x, y, chunks=4)
-        accuracies.append(acc)
-
-        # No deadlock: all inferences completed and the run's virtual
-        # time advanced by a bounded amount.
-        assert run.executor.inferences == 4
-        assert np.isfinite(run.sim.now)
-        ends = run.trace.of_kind("exec.done")
-        assert len(ends) == 4
-
-        # Virtual time is monotonic across every recorded event.
-        assert run.trace.is_time_monotonic()
-
-        # Bounded retries: no transfer ever exceeded the policy.
-        for record in run.trace.of_kind("degrade.transfer-failed"):
-            assert record.detail["attempts"] <= policy.max_retries + 1
-        for record in run.trace.of_kind("retry.recovered"):
-            assert record.detail["attempts"] <= policy.max_retries + 1
-
-        # Every scheduled crash either fired or lies beyond the run.
-        for record in run.trace.of_kind("fault.crash"):
-            assert record.time <= run.sim.now
+def assert_chaos_payload(seed, payload) -> None:
+    """The chaos invariants, asserted on a ``chaos_curve_point``
+    payload (wherever it was computed — in-process or in a worker)."""
+    invariants = payload["invariants"]
+    # No deadlock: every inference completed with bounded virtual time.
+    assert invariants["all_inferences_completed"], f"seed {seed}"
+    # Virtual time is monotonic across every recorded event.
+    assert invariants["time_monotonic"], f"seed {seed}"
+    # Bounded retries: no transfer ever exceeded the policy.
+    assert invariants["retries_bounded"], f"seed {seed}"
+    # Every scheduled crash either fired or lies beyond the run.
+    assert invariants["crashes_within_run"], f"seed {seed}"
+    # The trace is canonically digestible for every loss rate.
+    assert all(len(d) == 64 for d in payload["fault_trace_digests"])
 
     # Graceful degradation: within tolerance, accuracy is monotone
     # non-increasing in the loss rate, and the extremes are ordered.
+    accuracies = payload["accuracies"]
+    rates = payload["loss_rates"]
     for lower, higher in zip(accuracies, accuracies[1:]):
         assert higher <= lower + MONOTONE_TOLERANCE, (
             f"seed {seed}: accuracy rose from {lower:.3f} to {higher:.3f} "
-            f"as loss increased (rates {LOSS_RATES}, accs {accuracies})"
+            f"as loss increased (rates {rates}, accs {accuracies})"
         )
     assert accuracies[-1] <= accuracies[0] + EXTREMES_TOLERANCE
+
+
+def run_chaos_seed(trained, seed: int) -> None:
+    scenario, x, y = trained
+    payload = chaos_curve_point(
+        SweepPoint(index=0, seed=seed, config={}),
+        np.random.default_rng(0),
+        scenario_shared(scenario, x, y),
+    )
+    assert payload["loss_rates"] == LOSS_RATES
+    assert_chaos_payload(seed, payload)
 
 
 @pytest.mark.chaos
@@ -151,14 +157,55 @@ def test_recovery_restores_accuracy(trained):
 
 
 @pytest.mark.chaos
+def test_parallel_chaos_sweep_is_byte_identical_to_serial(trained):
+    """The determinism pin: a chaos sweep fanned over two worker
+    processes merges to the byte-identical report of the serial run —
+    same values, same telemetry, same canonical digest."""
+    scenario, x, y = trained
+    shared = scenario_shared(scenario, x[:16], y[:16])
+    points = make_points(
+        seeds=[0, 1], base_config={"loss_rates": [0.0, 0.3]}
+    )
+    serial = run_sweep(
+        CHAOS_TASK, points, jobs=1, root_seed=0, shared=shared
+    )
+    parallel = run_sweep(
+        CHAOS_TASK, points, jobs=2, root_seed=0, shared=shared,
+        chunk_size=1,
+    )
+    assert parallel.canonical_json() == serial.canonical_json()
+    assert parallel.digest() == serial.digest()
+    assert parallel.merged_trace_digest() == serial.merged_trace_digest()
+    assert (
+        parallel.merged_metrics().snapshot()
+        == serial.merged_metrics().snapshot()
+    )
+    # The payloads themselves pass the chaos invariants.
+    for result in parallel.results:
+        assert_chaos_payload(result.seed, result.value)
+
+
+@pytest.mark.chaos
 @pytest.mark.chaos_sweep
 @pytest.mark.skipif(
     not os.environ.get("REPRO_CHAOS_SWEEP"),
     reason="large chaos sweep is opt-in (REPRO_CHAOS_SWEEP=1)",
 )
-@pytest.mark.parametrize("seed", SWEEP_SEEDS)
-def test_chaos_sweep(trained, seed):
-    run_chaos_seed(trained, seed)
+def test_chaos_sweep(trained):
+    """The large opt-in sweep, fanned out over worker processes."""
+    scenario, x, y = trained
+    jobs = int(os.environ.get("REPRO_CHAOS_JOBS", "2"))
+    report = run_sweep(
+        CHAOS_TASK,
+        make_points(seeds=SWEEP_SEEDS),
+        jobs=jobs,
+        root_seed=0,
+        shared=scenario_shared(scenario, x, y),
+    )
+    assert len(report.results) == len(SWEEP_SEEDS)
+    for result in report.results:
+        assert result.value["loss_rates"] == LOSS_RATES
+        assert_chaos_payload(result.seed, result.value)
 
 
 # -- telemetry reconciliation (the metrics registry is the single -----------

@@ -122,6 +122,66 @@ class TestTrainer:
         assert loss_small == pytest.approx(loss_big)
         assert acc_small == acc_big
 
+    def test_fit_empty_dataset_raises(self):
+        """Regression: an empty dataset used to die with a
+        ZeroDivisionError in the epoch averaging."""
+        x, y = linear_task(10)
+        trainer = Trainer(build_mlp(seed=9), SGD(lr=0.1))
+        with pytest.raises(ValueError, match="empty dataset"):
+            trainer.fit(
+                x[:0], y[:0], epochs=1, batch_size=4,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_evaluate_empty_dataset_raises(self):
+        x, y = linear_task(10)
+        trainer = Trainer(build_mlp(seed=9), SGD(lr=0.1))
+        with pytest.raises(ValueError, match="empty dataset"):
+            trainer.evaluate(x[:0], y[:0])
+
+    def test_patience_restores_best_weights(self):
+        """After early stop the model carries the *best* epoch's
+        weights, not the last epoch's: re-evaluating reproduces
+        ``best_val_accuracy`` exactly even when later epochs dipped."""
+        x, y = linear_task(300, rng=np.random.default_rng(5))
+        model = build_mlp(seed=6)
+        trainer = Trainer(model, SGD(lr=0.1, momentum=0.9))
+        history = trainer.fit(
+            x[:200], y[:200], epochs=50, batch_size=16,
+            rng=np.random.default_rng(7),
+            x_val=x[200:], y_val=y[200:], patience=4,
+        )
+        # The stop was triggered by a dip: the final recorded epoch is
+        # strictly worse than the best, so restoring is observable.
+        assert history.val_accuracy[-1] < history.best_val_accuracy
+        __, restored = trainer.evaluate(x[200:], y[200:])
+        assert restored == pytest.approx(history.best_val_accuracy)
+
+
+class TestTrainingHistory:
+    def test_empty_history(self):
+        from repro.nn.training import TrainingHistory
+
+        history = TrainingHistory()
+        assert history.epochs == 0
+        assert np.isnan(history.best_val_accuracy)
+
+    def test_no_validation_data_leaves_nan_best(self):
+        x, y = linear_task(40)
+        trainer = Trainer(build_mlp(seed=10), SGD(lr=0.1))
+        history = trainer.fit(
+            x, y, epochs=2, batch_size=8, rng=np.random.default_rng(0)
+        )
+        assert history.epochs == 2
+        assert history.val_accuracy == []
+        assert np.isnan(history.best_val_accuracy)
+
+    def test_best_val_accuracy_is_max(self):
+        from repro.nn.training import TrainingHistory
+
+        history = TrainingHistory(val_accuracy=[0.4, 0.9, 0.7])
+        assert history.best_val_accuracy == 0.9
+
 
 class TestSequentialContainer:
     def test_forward_before_build_raises(self):

@@ -1,10 +1,18 @@
-"""Lint: telemetry must stay lazy.
+"""Lint: telemetry must stay lazy, and process pools must stay in
+``repro.par``.
 
 No module outside ``src/repro/obs/`` may import ``repro.obs`` at module
 scope — instrumented subsystems resolve :func:`repro.obs.current`
 inside function bodies instead, so importing (say) ``repro.wsn`` never
 pays for the telemetry layer and the disabled path stays a single
 ``telemetry.enabled`` attribute check.
+
+Likewise, no module outside ``src/repro/par/`` may import
+``multiprocessing``/``concurrent.futures`` at module scope or create
+worker pools at all: spawn children re-import every module an argument
+pickle drags in, so a module-scope pool would fork-bomb the sweep
+engine, and scattered pool creation would bypass its determinism
+contract (seed substreams, canonical merge, daemonic-nesting guard).
 """
 
 import ast
@@ -70,6 +78,102 @@ def test_lint_covers_the_instrumented_modules():
     ):
         assert expected in names
     assert not any(name.startswith("obs/") for name in names)
+
+
+#: Modules whose import at module scope (outside repro.par) is banned.
+_MP_MODULES = ("multiprocessing", "concurrent.futures")
+#: Pool constructors that may only be called from repro.par.
+_POOL_NAMES = {"Pool", "ThreadPool", "ProcessPoolExecutor",
+               "ThreadPoolExecutor"}
+
+
+def iter_non_par_source_files():
+    for path in sorted(SRC.rglob("*.py")):
+        if path.relative_to(SRC).parts[:1] == ("par",):
+            continue
+        yield path
+
+
+def module_scope_mp_usage(tree):
+    """Multiprocessing imports at module scope, and pool construction
+    anywhere, as ``(lineno, reason)`` pairs.
+
+    Imports inside function bodies are tolerated (lazy, never paid by
+    spawn children at re-import time); pool creation is flagged at any
+    depth because pools belong to :mod:`repro.par` alone.
+    """
+    offenders = []
+    stack = [(node, False) for node in tree.body]
+    while stack:
+        node, in_function = stack.pop()
+        if isinstance(node, ast.Import):
+            if not in_function and any(
+                a.name in _MP_MODULES
+                or a.name.startswith(tuple(m + "." for m in _MP_MODULES))
+                for a in node.names
+            ):
+                offenders.append((node.lineno, "module-scope mp import"))
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if not in_function and (
+                mod in _MP_MODULES
+                or mod.startswith(tuple(m + "." for m in _MP_MODULES))
+                or (mod == "concurrent"
+                    and any(a.name == "futures" for a in node.names))
+            ):
+                offenders.append((node.lineno, "module-scope mp import"))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name in _POOL_NAMES:
+                offenders.append((node.lineno, f"pool creation ({name})"))
+        entering = in_function or isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        )
+        stack.extend(
+            (child, entering) for child in ast.iter_child_nodes(node)
+        )
+    return offenders
+
+
+def test_no_mp_usage_outside_par():
+    offenders = []
+    for path in iter_non_par_source_files():
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, reason in module_scope_mp_usage(tree):
+            offenders.append(
+                f"{path.relative_to(SRC.parent)}:{lineno} ({reason})"
+            )
+    assert offenders == [], (
+        "multiprocessing belongs to repro.par (deterministic sweep "
+        f"engine); found: {offenders}"
+    )
+
+
+def test_mp_lint_detects_violations():
+    """The detector flags each banned spelling, and only those."""
+    for src in (
+        "import multiprocessing\n",
+        "import multiprocessing.pool\n",
+        "from multiprocessing import Pool\n",
+        "from concurrent.futures import ProcessPoolExecutor\n",
+        "from concurrent import futures\n",
+        "def f():\n    import multiprocessing as mp\n    mp.Pool(2)\n",
+        "def f():\n    from concurrent.futures import "
+        "ProcessPoolExecutor\n    ProcessPoolExecutor()\n",
+    ):
+        assert module_scope_mp_usage(ast.parse(src)), src
+    for src in (
+        "def f():\n    import multiprocessing\n",
+        "def f():\n    from concurrent.futures import as_completed\n",
+        "import os\n",
+        "from repro.par import run_sweep\n",
+    ):
+        assert not module_scope_mp_usage(ast.parse(src)), src
 
 
 def test_lint_detects_a_violation():

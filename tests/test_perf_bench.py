@@ -45,6 +45,38 @@ class TestBenchCli:
         assert "traffic_replay_batched" in names
         assert "forward_masked_dead20" in names
         assert "sim_event_throughput" in names
+        assert "sweep_scaling" in names
+
+    def test_sweep_scaling_records_honest_counters(self, quick_report):
+        """The scaling benchmark must carry the context needed to read
+        its speedup honestly: the core count, the point count, and the
+        parallel-equals-serial identity check."""
+        __, report = quick_report
+        bench = next(
+            b for b in report["benchmarks"] if b["name"] == "sweep_scaling"
+        )
+        counters = bench["counters"]
+        assert counters["cpu_count"] >= 1
+        assert counters["n_points"] >= 4
+        assert counters["reports_identical"] == 1
+        assert counters["speedup_jobs2"] > 0
+        assert bench["timing"]["best_s"] > 0
+
+    def test_suite_fans_out_with_jobs(self):
+        """``run_suite(jobs=2)`` runs the pooled benchmarks in worker
+        processes and maps the results back in canonical order; the
+        report stays schema-valid and names match the serial suite."""
+        report = run_suite(quick=True, seed=0, jobs=2)
+        assert validate_report(report) == []
+        assert report["protocol"]["jobs"] == 2
+        names = [b["name"] for b in report["benchmarks"]]
+        serial_names = [
+            "im2col_unfold", "forward_e2e", "forward_masked_dead20",
+            "train_epoch", "sim_event_throughput",
+            "traffic_replay_batched", "telemetry_overhead",
+            "sweep_scaling",
+        ]
+        assert set(names) == set(serial_names)
 
     def test_against_identical_run_passes(self, quick_report, tmp_path,
                                           capsys):
