@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli faults run --loss 0.2 --crashes 2
     python -m repro.cli bench --quick --against BENCH_perf.json
     python -m repro.cli bench --jobs 4
+    python -m repro.cli train --mode local --epochs 5 --trace train.jsonl
     python -m repro.cli sweep chaos --seeds 0-4 --grid loss_rate=0.0,0.2,0.4
     python -m repro.cli trace quickstart --out trace.jsonl
     python -m repro.cli stats trace.jsonl
@@ -26,7 +27,10 @@ communication-cost tables (Fig. 10 shape), optionally comparing two
 traces.  ``sweep`` fans a registered task over a seed list × config
 grid through the deterministic process-parallel engine
 (:mod:`repro.par`) — the JSON report is identical whatever ``--jobs``,
-except for the ``wall`` timing section.
+except for the ``wall`` timing section.  ``train`` runs MicroDeep
+distributed training on the toy field task — exact or local updates,
+vectorized or reference backward — and can record the ``train.step`` /
+``exec.backward`` telemetry to a trace file.
 
 Exit codes: 0 success; 2 usage error (unknown example/task, bad
 ``--grid``/``--seeds`` spec, unreadable or schema-invalid ``bench
@@ -301,6 +305,71 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_train(args) -> int:
+    """Train the demo CNN with distributed updates; report the curves."""
+    import numpy as np
+
+    from repro.core import (
+        MicroDeepTrainer,
+        UnitGraph,
+        grid_correspondence_assignment,
+    )
+    from repro.faults.scenario import toy_field_task
+    from repro.nn import (
+        Conv2D, Dense, Flatten, MaxPool2D, ReLU, SGD, Sequential,
+    )
+    from repro.wsn import GridTopology
+
+    if args.samples <= 0:
+        print(f"--samples must be positive, got {args.samples}",
+              file=sys.stderr)
+        return 2
+
+    def build_and_fit():
+        rng = np.random.default_rng(args.seed)
+        x, y = toy_field_task(args.samples, (10, 10), rng)
+        model = Sequential([
+            Conv2D(2, 3), ReLU(), MaxPool2D(2), Flatten(),
+            Dense(8), ReLU(), Dense(2),
+        ])
+        model.build((1, 10, 10), np.random.default_rng(args.seed))
+        graph = UnitGraph(model)
+        placement = grid_correspondence_assignment(graph, GridTopology(4, 4))
+        trainer = MicroDeepTrainer(
+            graph, placement, SGD(lr=0.05),
+            update_mode=args.mode, backward_impl=args.impl,
+        )
+        history = trainer.fit(
+            x, y, epochs=args.epochs, batch_size=args.batch_size,
+            rng=np.random.default_rng(args.seed + 1),
+        )
+        loss, acc = trainer.evaluate(x, y)
+        return history, loss, acc
+
+    print(f"training: mode={args.mode} impl={args.impl} "
+          f"epochs={args.epochs} batch={args.batch_size} "
+          f"samples={args.samples} seed={args.seed}")
+    if args.trace:
+        from repro import obs
+
+        # The trainer resolves its telemetry at construction, so the
+        # whole build-and-fit runs inside the session.
+        with obs.session() as tel:
+            history, loss, acc = build_and_fit()
+        trace_path = obs.write_trace(tel, args.trace)
+        steps = tel.metrics.total("train.steps")
+        print(f"telemetry: {steps:.0f} train.step spans -> {trace_path}")
+    else:
+        history, loss, acc = build_and_fit()
+    for epoch, (ep_loss, ep_acc) in enumerate(
+        zip(history.train_loss, history.train_accuracy)
+    ):
+        print(f"  epoch {epoch + 1:3d}: loss={ep_loss:.4f} "
+              f"accuracy={ep_acc:.3f}")
+    print(f"final: loss={loss:.4f} accuracy={acc:.3f}")
+    return 0
+
+
 def _parse_scalar(text: str):
     """int, then float, then bool, then the bare string."""
     for cast in (int, float):
@@ -453,6 +522,27 @@ def main(argv: Optional[list] = None) -> int:
                               help="run independent benchmarks on N worker "
                                    "processes (each timing loop stays "
                                    "pinned to one worker; default 1)")
+    train_parser = sub.add_parser(
+        "train", help="train the demo CNN with distributed updates"
+    )
+    train_parser.add_argument("--mode", choices=("exact", "local"),
+                              default="local",
+                              help="update mode (default local)")
+    train_parser.add_argument("--impl", choices=("vectorized", "reference"),
+                              default="vectorized",
+                              help="'local' backward implementation "
+                                   "(default vectorized)")
+    train_parser.add_argument("--epochs", type=int, default=5,
+                              help="training epochs (default 5)")
+    train_parser.add_argument("--batch-size", type=int, default=8,
+                              help="mini-batch size (default 8)")
+    train_parser.add_argument("--samples", type=int, default=120,
+                              help="toy-task samples (default 120)")
+    train_parser.add_argument("--seed", type=int, default=0,
+                              help="seed for data, init and batching")
+    train_parser.add_argument("--trace", default=None, metavar="PATH",
+                              help="record training telemetry and write "
+                                   "the JSONL trace to PATH")
     sweep_parser = sub.add_parser(
         "sweep", help="fan a registered task over seeds x config grid "
                       "(deterministic process-parallel engine)"
@@ -507,6 +597,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_faults_run(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "train":
+        return cmd_train(args)
     if args.command == "sweep":
         return cmd_sweep(args)
     if args.command == "trace":

@@ -16,6 +16,22 @@ Two update modes:
   but gradient flow **to units on other nodes is dropped**, so deeper
   layers see truncated error signals.  No gradient messages are
   exchanged at all.
+
+Two implementations of the ``"local"`` backward coexist:
+
+- the **vectorized** path (default): the per-node masks are stacked
+  into one ``(n_nodes, …)`` tensor per layer at construction time, the
+  node axis is folded into the batch axis, and each masked layer runs
+  **one** batched kernel (:meth:`repro.nn.layers.base.Layer.backward_nodes`)
+  over the ``(n_nodes · batch, …)`` masked gradients, followed by a
+  masked scatter-reduce over the node axis.  Parameter gradients are
+  accumulated once from the node-collapsed gradient — exactly the sum
+  of the per-node masked gradients, because every output slot is owned
+  by one node.
+- the **reference** path (``backward_impl="reference"`` /
+  :meth:`MicroDeepTrainer._backward_reference`): the original loop
+  calling one full ``layer.backward`` per hosting node per layer — the
+  parity oracle the tests pin the vectorized path against.
 """
 
 from __future__ import annotations
@@ -29,6 +45,25 @@ from repro.core.unitgraph import LayerUnits, UnitGraph
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.optimizers import Optimizer
 from repro.nn.training import TrainingHistory
+
+
+class _StackedMasks:
+    """One layer's per-node masks as stacked tensors.
+
+    ``nodes`` preserves the reference loop's per-node iteration order;
+    ``out_masks`` / ``in_masks`` stack that order along a leading node
+    axis shaped to broadcast against ``grad[np.newaxis]`` (spatial:
+    ``(n_nodes, 1, 1, H, W)``; dense: ``(n_nodes, 1, U)``).
+    """
+
+    __slots__ = ("nodes", "out_masks", "in_masks")
+
+    def __init__(
+        self, nodes: List[int], out_masks: np.ndarray, in_masks: np.ndarray
+    ) -> None:
+        self.nodes = nodes
+        self.out_masks = out_masks
+        self.in_masks = in_masks
 
 
 class MicroDeepTrainer:
@@ -47,6 +82,10 @@ class MicroDeepTrainer:
             and each skip is reported back.  Requires ``"local"``
             updates (exact backprop has no per-node structure to
             degrade).
+        backward_impl: ``"vectorized"`` (default) or ``"reference"``
+            — which ``"local"`` backward implementation :meth:`fit`
+            uses (see module docstring; the reference loop is retained
+            as the parity oracle and for benchmarking).
     """
 
     def __init__(
@@ -57,10 +96,17 @@ class MicroDeepTrainer:
         update_mode: str = "local",
         loss: Optional[CrossEntropyLoss] = None,
         fault_adapter=None,
+        backward_impl: str = "vectorized",
+        telemetry=None,
     ) -> None:
         if update_mode not in ("exact", "local"):
             raise ValueError(
                 f"update_mode must be 'exact' or 'local', got {update_mode!r}"
+            )
+        if backward_impl not in ("vectorized", "reference"):
+            raise ValueError(
+                "backward_impl must be 'vectorized' or 'reference', "
+                f"got {backward_impl!r}"
             )
         if fault_adapter is not None and update_mode != "local":
             raise ValueError(
@@ -73,7 +119,18 @@ class MicroDeepTrainer:
         self.update_mode = update_mode
         self.loss = loss if loss is not None else CrossEntropyLoss()
         self.fault_adapter = fault_adapter
+        self.backward_impl = backward_impl
+        # Placement is frozen for the trainer's lifetime, so both mask
+        # forms are built exactly once and never invalidated.
         self._masks = self._build_masks() if update_mode == "local" else None
+        self._stacked = (
+            self._build_stacked() if update_mode == "local" else None
+        )
+        if telemetry is None:
+            from repro.obs.runtime import current
+
+            telemetry = current()
+        self._telemetry = telemetry
 
     # -- mask construction ---------------------------------------------------
     def _input_owner_of_layer(self, entry: LayerUnits):
@@ -155,12 +212,99 @@ class MicroDeepTrainer:
             masks[entry.index] = per_node
         return masks
 
+    def _build_stacked(self) -> Dict[int, _StackedMasks]:
+        """Stack :attr:`_masks` per layer along a leading node axis.
+
+        Built once in ``__init__`` (placement is frozen); replaces the
+        dict-of-dicts lookups of the reference loop with one broadcast
+        multiply per layer.
+        """
+        stacked: Dict[int, _StackedMasks] = {}
+        for index, per_node in self._masks.items():
+            nodes = list(per_node)
+            out_masks = np.stack([per_node[n][0] for n in nodes])
+            in_masks = np.stack([per_node[n][1] for n in nodes])
+            stacked[index] = _StackedMasks(nodes, out_masks, in_masks)
+        return stacked
+
     # -- backward ------------------------------------------------------------
     def _backward(self, grad: np.ndarray) -> None:
         """Backpropagate through the model in the selected mode."""
+        tel = self._telemetry
+        if not tel.enabled:
+            self._backward_dispatch(grad)
+            return
+        impl = (
+            "exact" if self.update_mode == "exact" else self.backward_impl
+        )
+        with tel.tracer.span(
+            "exec.backward", batch=int(grad.shape[0]), impl=impl
+        ):
+            self._backward_dispatch(grad)
+
+    def _backward_dispatch(self, grad: np.ndarray) -> None:
         if self.update_mode == "exact":
             self.model.backward(grad)
-            return
+        elif self.backward_impl == "reference":
+            self._backward_reference(grad)
+        else:
+            self._backward_vectorized(grad)
+
+    def _backward_vectorized(self, grad: np.ndarray) -> None:
+        """The batched ``"local"`` backward (see module docstring)."""
+        down = (
+            self.fault_adapter.down_nodes()
+            if self.fault_adapter is not None
+            else None
+        )
+        for entry in reversed(self.graph.layers):
+            grad = self._layer_backward_batched(entry, grad, down)
+
+    def _layer_backward_batched(
+        self, entry: LayerUnits, grad: np.ndarray, down
+    ) -> np.ndarray:
+        """One layer of the vectorized local backward.
+
+        Layers that do not cut gradient flow backpropagate the
+        collapsed gradient directly; masked layers run one batched
+        kernel over the node-stacked masked gradients and scatter-
+        reduce the result over the node axis.  All sums over the node
+        axis are exact — the masks are disjoint, so each slot adds one
+        value and zeros.
+        """
+        layer = entry.layer
+        if entry.kind == "flatten" or layer.is_elementwise:
+            return layer.backward(grad)
+        stack = self._stacked[entry.index]
+        out_masks = stack.out_masks
+        grad_param = grad
+        if down:
+            skipped = [node for node in stack.nodes if node in down]
+            for node in skipped:
+                self.fault_adapter.on_update_skipped(entry.index, node)
+            if skipped:
+                # Dead nodes become zeroed rows in the stacked mask;
+                # the collapsed parameter gradient shrinks to the
+                # union of the surviving (disjoint) out-masks.
+                live = np.array(
+                    [node not in down for node in stack.nodes],
+                    dtype=grad.dtype,
+                ).reshape((-1,) + (1,) * (out_masks.ndim - 1))
+                out_masks = out_masks * live
+                grad_param = grad * out_masks.sum(axis=0)
+        n_nodes = len(stack.nodes)
+        batch = grad.shape[0]
+        stacked = (grad[np.newaxis] * out_masks).reshape(
+            (n_nodes * batch,) + grad.shape[1:]
+        )
+        grad_in = layer.backward_nodes(stacked, grad_param)
+        grad_in = grad_in.reshape((n_nodes, batch) + grad_in.shape[1:])
+        return (grad_in * stack.in_masks).sum(axis=0)
+
+    def _backward_reference(self, grad: np.ndarray) -> None:
+        """The retained per-node ``"local"`` loop — parity oracle for
+        the vectorized path (one full ``layer.backward`` per hosting
+        node per masked layer)."""
         down = (
             self.fault_adapter.down_nodes()
             if self.fault_adapter is not None
@@ -187,6 +331,15 @@ class MicroDeepTrainer:
             grad = total
 
     # -- training loop ---------------------------------------------------------
+    def _train_step(self, xb: np.ndarray, yb: np.ndarray) -> Tuple[float, int]:
+        """One mini-batch update; returns ``(batch_loss, n_correct)``."""
+        self.model.zero_grads()
+        logits = self.model.forward(xb, training=True)
+        batch_loss = self.loss.forward(logits, yb)
+        self._backward(self.loss.backward())
+        self.optimizer.step(self.model.param_slots())
+        return batch_loss, int((logits.argmax(axis=-1) == yb).sum())
+
     def fit(
         self,
         x: np.ndarray,
@@ -199,28 +352,49 @@ class MicroDeepTrainer:
         patience: Optional[int] = None,
     ) -> TrainingHistory:
         """Mini-batch training; mirrors :class:`repro.nn.Trainer.fit`
-        but with the distributed backward pass."""
+        but with the distributed backward pass.
+
+        Raises:
+            ValueError: if ``x`` is empty — an empty dataset would
+                otherwise surface as a ``ZeroDivisionError`` deep in
+                the epoch averaging.
+        """
+        if x.shape[0] == 0:
+            raise ValueError(
+                "cannot fit on an empty dataset (x has 0 samples)"
+            )
         history = TrainingHistory()
         n = x.shape[0]
+        tel = self._telemetry
         best_acc = -np.inf
         best_weights = None
         stale = 0
-        for __ in range(epochs):
+        for epoch in range(epochs):
             order = rng.permutation(n)
             epoch_loss = 0.0
             correct = 0
-            for start in range(0, n, batch_size):
+            for step, start in enumerate(range(0, n, batch_size)):
                 idx = order[start : start + batch_size]
                 xb, yb = x[idx], y[idx]
-                self.model.zero_grads()
-                logits = self.model.forward(xb, training=True)
-                batch_loss = self.loss.forward(logits, yb)
-                self._backward(self.loss.backward())
-                self.optimizer.step(self.model.param_slots())
+                if tel.enabled:
+                    with tel.tracer.span(
+                        "train.step", epoch=epoch, step=step,
+                        batch=int(len(idx)),
+                    ):
+                        batch_loss, batch_correct = self._train_step(xb, yb)
+                    tel.metrics.counter("train.steps").inc()
+                    tel.metrics.counter("train.examples").inc(float(len(idx)))
+                    tel.metrics.gauge("train.loss").set(float(batch_loss))
+                else:
+                    batch_loss, batch_correct = self._train_step(xb, yb)
                 epoch_loss += batch_loss * len(idx)
-                correct += int((logits.argmax(axis=-1) == yb).sum())
+                correct += batch_correct
             history.train_loss.append(epoch_loss / n)
             history.train_accuracy.append(correct / n)
+            if tel.enabled:
+                tel.metrics.counter("train.epochs").inc()
+                tel.metrics.gauge("train.epoch_loss").set(epoch_loss / n)
+                tel.metrics.gauge("train.epoch_accuracy").set(correct / n)
             if x_val is not None and y_val is not None:
                 val_loss, val_acc = self.evaluate(x_val, y_val)
                 history.val_loss.append(val_loss)
@@ -238,8 +412,17 @@ class MicroDeepTrainer:
         return history
 
     def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256):
-        """``(mean_loss, accuracy)`` on the given data."""
+        """``(mean_loss, accuracy)`` on the given data.
+
+        Raises:
+            ValueError: if ``x`` is empty — there is no mean loss or
+                accuracy of zero samples.
+        """
         n = x.shape[0]
+        if n == 0:
+            raise ValueError(
+                "cannot evaluate on an empty dataset (x has 0 samples)"
+            )
         total_loss = 0.0
         correct = 0
         for start in range(0, n, batch_size):

@@ -407,10 +407,16 @@ class TrainingFaultAdapter:
         tracker: NodeStateTracker,
         trace: FaultTrace,
         clock: Callable[[], float],
+        telemetry=None,
     ) -> None:
         self.tracker = tracker
         self.trace = trace
         self.clock = clock
+        if telemetry is None:
+            from repro.obs.runtime import current
+
+            telemetry = current()
+        self._telemetry = telemetry
 
     def down_nodes(self) -> Set[int]:
         return self.tracker.down_nodes()
@@ -420,3 +426,11 @@ class TrainingFaultAdapter:
             self.clock(), "degrade.update-skipped",
             layer=layer_index, node=node,
         )
+        tel = self._telemetry
+        if tel.enabled:
+            tel.tracer.instant(
+                "train.update-skipped", layer=layer_index, node=node
+            )
+            tel.metrics.counter(
+                "train.update_skips", layer=layer_index
+            ).inc()

@@ -45,6 +45,25 @@ class Layer:
         return dLoss/dInput."""
         raise NotImplementedError
 
+    def backward_nodes(
+        self, grad_stack: np.ndarray, grad_param: np.ndarray
+    ) -> np.ndarray:
+        """Batched per-node backward for distributed local training.
+
+        ``grad_stack`` holds one masked output gradient per hosting
+        node, folded into the batch axis: ``(n_nodes * batch, *out)``.
+        ``grad_param`` is the node-collapsed ``(batch, *out)`` gradient
+        (the per-node masked gradients sum to it exactly — each output
+        slot is owned by one node) used for the single parameter
+        accumulation.  Returns ``(n_nodes * batch, *in)`` input
+        gradients, row blocks byte-identical to one :meth:`backward`
+        call per node.  Requires a prior ``forward(training=True)``
+        with the un-stacked batch.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no batched per-node backward"
+        )
+
     def output_shape(self, input_shape: tuple) -> tuple:
         """Shape of a single output sample for the given input shape."""
         raise NotImplementedError

@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.nn import initializers
 from repro.nn.layers.base import ParamLayer, SpatialDeps
-from repro.nn.layers.im2col import col2im, conv_output_hw, im2col_cached
+from repro.nn.layers.im2col import col2im_cached, conv_output_hw, im2col_cached
 
 
 class Conv2D(ParamLayer):
@@ -108,7 +108,27 @@ class Conv2D(ParamLayer):
         self._grads["W"] += grad_w.T.reshape(self._params["W"].shape)
         w_flat = self._params["W"].reshape(self.filters, -1)
         grad_col = grad_flat @ w_flat
-        return col2im(grad_col, x_shape, self.kh, self.kw, self.stride, self.pad)
+        return col2im_cached(
+            grad_col, x_shape, self.kh, self.kw, self.stride, self.pad
+        )
+
+    def backward_nodes(
+        self, grad_stack: np.ndarray, grad_param: np.ndarray
+    ) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x_shape, col = self._cache
+        __, c, h, w = x_shape
+        m = grad_stack.shape[0]
+        pflat = grad_param.transpose(0, 2, 3, 1).reshape(-1, self.filters)
+        self._grads["b"] += pflat.sum(axis=0)
+        self._grads["W"] += (col.T @ pflat).T.reshape(self._params["W"].shape)
+        w_flat = self._params["W"].reshape(self.filters, -1)
+        grad_flat = grad_stack.transpose(0, 2, 3, 1).reshape(-1, self.filters)
+        grad_col = grad_flat @ w_flat
+        return col2im_cached(
+            grad_col, (m, c, h, w), self.kh, self.kw, self.stride, self.pad
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

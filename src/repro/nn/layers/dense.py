@@ -48,5 +48,15 @@ class Dense(ParamLayer):
         self._grads["b"] += grad_out.sum(axis=0)
         return grad_out @ self._params["W"].T
 
+    def backward_nodes(
+        self, grad_stack: np.ndarray, grad_param: np.ndarray
+    ) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x = self._cache
+        self._grads["W"] += x.T @ grad_param
+        self._grads["b"] += grad_param.sum(axis=0)
+        return grad_stack @ self._params["W"].T
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Dense(units={self.units})"

@@ -12,8 +12,15 @@ Two unfold implementations coexist:
   loop are the fastest layout-conversion available, so the cache only
   memoizes the window geometry.
 
-Both produce byte-identical patch matrices (the parity tests assert
-it); the layers call the cached one.
+The fold direction mirrors the same split: :func:`col2im` is the
+reference accumulate-loop, and :func:`col2im_cached` reuses the
+memoized gather plan as a *scatter* plan — with non-overlapping
+windows every padded input position receives at most one patch value,
+so one fancy-index assignment replaces the kernel loop (the pooling
+backward's hot path).
+
+All pairs produce byte-identical matrices (the parity tests assert
+it); the layers call the cached ones.
 """
 
 from __future__ import annotations
@@ -138,6 +145,35 @@ def col2im(
         for xk in range(kw):
             x_max = xk + stride * out_w
             img[:, :, y:y_max:stride, xk:x_max:stride] += col6[:, :, y, xk, :, :]
+    if pad == 0:
+        return img
+    return img[:, :, pad : pad + h, pad : pad + w]
+
+
+def col2im_cached(
+    col: np.ndarray,
+    input_shape: tuple,
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """:func:`col2im` through the memoized index cache.
+
+    Non-overlapping windows (``stride >= kernel``) scatter every patch
+    gradient with the cached gather plan in one fancy-index assignment
+    — no position receives two contributions, so assignment equals the
+    reference loop's accumulation byte for byte.  Overlapping windows
+    fall back to :func:`col2im`.
+    """
+    n, c, h, w = input_shape
+    gather, out_h, out_w = im2col_indices(c, h, w, kh, kw, stride, pad)
+    if gather is None:
+        return col2im(col, input_shape, kh, kw, stride, pad)
+    padded_h, padded_w = h + 2 * pad, w + 2 * pad
+    img = np.zeros((n, c * padded_h * padded_w), dtype=col.dtype)
+    img[:, gather.reshape(-1)] = col.reshape(n, -1)
+    img = img.reshape(n, c, padded_h, padded_w)
     if pad == 0:
         return img
     return img[:, :, pad : pad + h, pad : pad + w]

@@ -7,7 +7,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.nn.layers.base import Layer, SpatialDeps
-from repro.nn.layers.im2col import col2im, conv_output_hw, im2col_cached
+from repro.nn.layers.im2col import col2im_cached, conv_output_hw, im2col_cached
 
 
 class _Pool2D(Layer):
@@ -72,7 +72,28 @@ class MaxPool2D(_Pool2D):
         grad_col = np.zeros((grad_flat.size, self.ph * self.pw), dtype=grad_out.dtype)
         grad_col[np.arange(grad_flat.size), argmax] = grad_flat
         grad_col = grad_col.reshape(n * out_h * out_w, -1)
-        return col2im(grad_col, x_shape, self.ph, self.pw, self.stride, 0)
+        return col2im_cached(grad_col, x_shape, self.ph, self.pw, self.stride, 0)
+
+    def backward_nodes(
+        self, grad_stack: np.ndarray, grad_param: np.ndarray
+    ) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x_shape, argmax = self._cache
+        n, c, h, w = x_shape
+        m, __, out_h, out_w = grad_stack.shape
+        # One argmax per (sample, position, channel); the node axis is
+        # outermost in the stack, so tiling the flat cache aligns it.
+        tiled = np.tile(argmax, m // n)
+        grad_flat = grad_stack.transpose(0, 2, 3, 1).reshape(-1)
+        grad_col = np.zeros(
+            (grad_flat.size, self.ph * self.pw), dtype=grad_stack.dtype
+        )
+        grad_col[np.arange(grad_flat.size), tiled] = grad_flat
+        grad_col = grad_col.reshape(m * out_h * out_w, -1)
+        return col2im_cached(
+            grad_col, (m, c, h, w), self.ph, self.pw, self.stride, 0
+        )
 
 
 class AvgPool2D(_Pool2D):
@@ -94,4 +115,20 @@ class AvgPool2D(_Pool2D):
         grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, 1) / window
         grad_col = np.repeat(grad_flat, window, axis=1)
         grad_col = grad_col.reshape(n * out_h * out_w, -1)
-        return col2im(grad_col, x_shape, self.ph, self.pw, self.stride, 0)
+        return col2im_cached(grad_col, x_shape, self.ph, self.pw, self.stride, 0)
+
+    def backward_nodes(
+        self, grad_stack: np.ndarray, grad_param: np.ndarray
+    ) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        (x_shape,) = self._cache
+        __, c, h, w = x_shape
+        m, __, out_h, out_w = grad_stack.shape
+        window = self.ph * self.pw
+        grad_flat = grad_stack.transpose(0, 2, 3, 1).reshape(-1, 1) / window
+        grad_col = np.repeat(grad_flat, window, axis=1)
+        grad_col = grad_col.reshape(m * out_h * out_w, -1)
+        return col2im_cached(
+            grad_col, (m, c, h, w), self.ph, self.pw, self.stride, 0
+        )

@@ -17,8 +17,15 @@ Workloads:
 - ``im2col_unfold`` — pooling-regime patch extraction with the
   memoized gather plan vs. the reference kernel loop;
 - ``sim_event_throughput`` — event drain via ``run_batch`` vs ``run``;
-- ``train_epoch`` — one MicroDeep local-update training epoch
-  (measured only; tracks the training trajectory over PRs);
+- ``local_backward`` — one distributed ``"local"`` backward pass,
+  batched ``backward_nodes`` kernels vs. the retained per-node
+  reference loop; parameter-gradient parity and counter-exact
+  update-skip accounting are asserted untimed before the clocks start,
+  so the committed entry certifies the speedup is of an equivalent
+  computation;
+- ``train_epoch`` — one MicroDeep local-update training epoch,
+  vectorized backward vs. the reference loop end-to-end (identical
+  data order per run; one-epoch weight parity asserted untimed);
 - ``telemetry_overhead`` — the forward_e2e workload with a live
   telemetry session vs. the null backend; the documented budget is
   **< 5 % overhead** with tracing on (``counters.overhead_pct``);
@@ -270,19 +277,175 @@ def bench_sim_events(protocol: BenchProtocol, seed: int, quick: bool) -> Dict:
     }
 
 
+class _ScriptedFaultAdapter:
+    """Minimal fault adapter with a fixed down-set; records every
+    ``on_update_skipped`` call so skip accounting can be compared
+    across backward implementations."""
+
+    def __init__(self, down) -> None:
+        self.down = set(down)
+        self.skips: List = []
+
+    def down_nodes(self):
+        return self.down
+
+    def on_update_skipped(self, layer_index: int, node: int) -> None:
+        self.skips.append((layer_index, node))
+
+
+def _grad_snapshot(model: Sequential) -> List[np.ndarray]:
+    return [
+        layer.grads()[name].copy()
+        for layer in model.layers
+        for name in sorted(layer.grads())
+    ]
+
+
+def bench_local_backward(
+    protocol: BenchProtocol, seed: int, quick: bool
+) -> Dict:
+    """One distributed ``"local"`` backward: batched vs. per-node loop.
+
+    Both implementations run on the *same* trainer (same forward
+    cache, same masks), so the timings differ only in the backward
+    code path.  Before anything is timed, the parameter gradients of
+    the two paths are compared (pinned tolerance — conv GEMM grouping
+    differs at the ulp level) and the update-skip accounting under a
+    scripted fault adapter is asserted counter-exact; the committed
+    entry therefore certifies the speedup is of an equivalent
+    computation.
+
+    The workload is pinned to the trainer's operating point — the
+    mini-batch size the training loop actually uses.  That is where
+    folding the node axis into the batch pays: the per-node loop's
+    cost is dominated by Python and kernel-dispatch overhead
+    (``n_hosting_nodes`` backward calls per masked layer per step).
+    At much larger batches the masked GEMMs dominate both paths (the
+    vectorization moves the same FLOPs into one call) and the two
+    implementations converge.
+    """
+    batch = 8
+    input_hw = (10, 10) if quick else (12, 12)
+    model, graph, topology, placement, __, __ = _scenario(
+        seed, input_hw, (4, 4)
+    )
+    trainer = MicroDeepTrainer(graph, placement, SGD(lr=0.05), "local")
+    rng = np.random.default_rng(seed + 7)
+    x = rng.normal(size=(batch, 1) + tuple(input_hw))
+    y = rng.integers(0, 2, size=batch)
+    logits = model.forward(x, training=True)
+    trainer.loss.forward(logits, y)
+    grad = trainer.loss.backward()
+    counters = CounterRegistry()
+
+    # Untimed parity: parameter gradients of the two paths must agree.
+    model.zero_grads()
+    trainer._backward_vectorized(grad)
+    vec_grads = _grad_snapshot(model)
+    model.zero_grads()
+    trainer._backward_reference(grad)
+    ref_grads = _grad_snapshot(model)
+    max_diff = max(
+        float(np.max(np.abs(a - b))) for a, b in zip(vec_grads, ref_grads)
+    )
+    if max_diff > 1e-12:  # pragma: no cover - parity contract
+        raise AssertionError(
+            f"vectorized local backward diverged from reference: {max_diff}"
+        )
+    counters.set("parity_max_abs_diff", max_diff)
+
+    # Untimed skip accounting: a scripted 20 %-dead adapter must
+    # produce the identical skip sequence under both paths.
+    node_ids = sorted(topology.nodes)
+    n_dead = max(1, round(0.2 * len(node_ids)))
+    dead = [int(n) for n in rng.choice(node_ids, size=n_dead, replace=False)]
+    skip_counts = {}
+    for impl in ("vectorized", "reference"):
+        adapter = _ScriptedFaultAdapter(dead)
+        trainer.fault_adapter = adapter
+        model.zero_grads()
+        getattr(trainer, f"_backward_{impl}")(grad)
+        skip_counts[impl] = adapter.skips
+    trainer.fault_adapter = None
+    if skip_counts["vectorized"] != skip_counts["reference"]:
+        raise AssertionError(  # pragma: no cover - parity contract
+            "update-skip accounting diverged between implementations"
+        )
+    counters.set("update_skips", float(len(skip_counts["vectorized"])))
+    counters.set("update_skips_match", 1.0)
+    counters.set("n_dead_nodes", float(n_dead))
+
+    timing = measure(
+        lambda __: trainer._backward_vectorized(grad),
+        protocol, setup=model.zero_grads,
+    )
+    reference = measure(
+        lambda __: trainer._backward_reference(grad),
+        protocol, setup=model.zero_grads,
+    )
+    model.zero_grads()
+    return {
+        "name": "local_backward",
+        "params": {"batch": batch, "input_hw": list(input_hw),
+                   "node_grid": [4, 4], "dead_nodes": dead, "seed": seed},
+        "input_digest": input_digest(
+            x, y, extra=f"local_backward seed={seed}"
+        ),
+        "timing": timing.to_dict(),
+        "reference_timing": reference.to_dict(),
+        "speedup": reference.best_s / timing.best_s,
+        "counters": counters.to_dict(),
+    }
+
+
 def bench_train_epoch(protocol: BenchProtocol, seed: int, quick: bool) -> Dict:
+    """End-to-end training epoch, vectorized vs. reference backward.
+
+    Twin trainers over identically-seeded models; every ``fit`` call
+    gets a fresh identically-seeded rng, so both sides (and every
+    timed run) see the same batch order.  One epoch of weight parity
+    is asserted untimed before the clocks start.
+    """
     n_samples = 16 if quick else 64
     input_hw = (10, 10)
-    __, graph, __, placement, __, __ = _scenario(seed, input_hw, (4, 4))
+
+    def make_trainer(impl: str) -> MicroDeepTrainer:
+        __, graph, __, placement, __, __ = _scenario(seed, input_hw, (4, 4))
+        return MicroDeepTrainer(
+            graph, placement, SGD(lr=0.05), "local", backward_impl=impl
+        )
+
     rng = np.random.default_rng(seed + 5)
     x = rng.normal(size=(n_samples, 1) + input_hw)
     y = rng.integers(0, 2, size=n_samples)
-    trainer = MicroDeepTrainer(graph, placement, SGD(lr=0.05), "local")
-    fit_rng = np.random.default_rng(seed + 6)
+    vec = make_trainer("vectorized")
+    ref = make_trainer("reference")
+
+    # Untimed parity: identical weights after one identically-ordered
+    # epoch (pinned tolerance; see bench_local_backward).
+    for trainer in (vec, ref):
+        trainer.fit(
+            x, y, epochs=1, batch_size=8, rng=np.random.default_rng(seed + 6)
+        )
+    max_diff = max(
+        float(np.max(np.abs(a - b)))
+        for a, b in zip(vec.model.get_weights(), ref.model.get_weights())
+    )
+    if max_diff > 1e-9:  # pragma: no cover - parity contract
+        raise AssertionError(
+            f"vectorized train epoch diverged from reference: {max_diff}"
+        )
+
+    def fit_rng() -> np.random.Generator:
+        return np.random.default_rng(seed + 6)
 
     timing = measure(
-        lambda: trainer.fit(x, y, epochs=1, batch_size=8, rng=fit_rng),
-        protocol,
+        lambda rng: vec.fit(x, y, epochs=1, batch_size=8, rng=rng),
+        protocol, setup=fit_rng,
+    )
+    reference = measure(
+        lambda rng: ref.fit(x, y, epochs=1, batch_size=8, rng=rng),
+        protocol, setup=fit_rng,
     )
     return {
         "name": "train_epoch",
@@ -290,6 +453,9 @@ def bench_train_epoch(protocol: BenchProtocol, seed: int, quick: bool) -> Dict:
                    "input_hw": list(input_hw), "seed": seed},
         "input_digest": input_digest(x, y, extra=f"train_epoch seed={seed}"),
         "timing": timing.to_dict(),
+        "reference_timing": reference.to_dict(),
+        "speedup": reference.best_s / timing.best_s,
+        "counters": {"parity_max_abs_diff": max_diff},
     }
 
 
@@ -440,6 +606,7 @@ _BENCHMARKS = (
     bench_forward_masked,
     bench_im2col_unfold,
     bench_sim_events,
+    bench_local_backward,
     bench_train_epoch,
     bench_telemetry_overhead,
     bench_sweep_scaling,

@@ -39,6 +39,39 @@ class TestCli:
             assert (examples / filename).exists(), filename
 
 
+class TestTrainCli:
+    def test_train_local_vectorized(self, capsys):
+        assert main(["train", "--epochs", "2", "--samples", "24",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "mode=local impl=vectorized" in out
+        assert "epoch   2" in out
+        assert "final:" in out
+
+    def test_train_reference_impl_and_exact_mode(self, capsys):
+        assert main(["train", "--impl", "reference", "--epochs", "1",
+                     "--samples", "16"]) == 0
+        assert "impl=reference" in capsys.readouterr().out
+        assert main(["train", "--mode", "exact", "--epochs", "1",
+                     "--samples", "16"]) == 0
+        assert "mode=exact" in capsys.readouterr().out
+
+    def test_train_trace_writes_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "train.jsonl"
+        assert main(["train", "--epochs", "1", "--samples", "16",
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "train.step spans" in out
+        assert trace.is_file()
+        lines = trace.read_text().strip().splitlines()
+        assert any("train.step" in line for line in lines)
+        assert any("exec.backward" in line for line in lines)
+
+    def test_train_rejects_nonpositive_samples(self, capsys):
+        assert main(["train", "--samples", "0"]) == 2
+        assert "--samples" in capsys.readouterr().err
+
+
 class TestSweepCli:
     def test_list(self, capsys):
         assert main(["sweep", "--list"]) == 0

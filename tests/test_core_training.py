@@ -147,6 +147,69 @@ class TestLocalMode:
         with pytest.raises(ValueError):
             MicroDeepTrainer(graph, placement, SGD(lr=0.1), update_mode="turbo")
 
+    def test_invalid_backward_impl(self):
+        model = build_model()
+        graph = UnitGraph(model)
+        placement = grid_correspondence_assignment(graph, GridTopology(2, 2))
+        with pytest.raises(ValueError, match="backward_impl"):
+            MicroDeepTrainer(
+                graph, placement, SGD(lr=0.1), backward_impl="looped"
+            )
+
+    def test_masks_built_exactly_once_across_fits(self, monkeypatch):
+        """Both mask forms are construction-time artifacts: repeated
+        ``fit``/``evaluate`` calls must never rebuild them."""
+        calls = {"masks": 0, "stacked": 0}
+        orig_masks = MicroDeepTrainer._build_masks
+        orig_stacked = MicroDeepTrainer._build_stacked
+
+        def counting_masks(self):
+            calls["masks"] += 1
+            return orig_masks(self)
+
+        def counting_stacked(self):
+            calls["stacked"] += 1
+            return orig_stacked(self)
+
+        monkeypatch.setattr(MicroDeepTrainer, "_build_masks", counting_masks)
+        monkeypatch.setattr(
+            MicroDeepTrainer, "_build_stacked", counting_stacked
+        )
+        trainer = self._trainer("local", seed=4)
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(12, 1, 10, 10))
+        y = rng.integers(0, 2, size=12)
+        trainer.fit(x, y, epochs=2, batch_size=4,
+                    rng=np.random.default_rng(0))
+        trainer.fit(x, y, epochs=1, batch_size=6,
+                    rng=np.random.default_rng(1))
+        trainer.evaluate(x, y)
+        assert calls == {"masks": 1, "stacked": 1}
+
+
+class TestEmptyDataset:
+    def _trainer(self):
+        model = build_model(seed=12)
+        graph = UnitGraph(model)
+        placement = grid_correspondence_assignment(graph, GridTopology(2, 2))
+        return MicroDeepTrainer(graph, placement, SGD(lr=0.05))
+
+    def test_fit_empty_dataset_raises_value_error(self):
+        """An empty dataset must fail loudly up front, not as a
+        ZeroDivisionError in the epoch averaging (mirrors the
+        repro.nn.Trainer fix)."""
+        trainer = self._trainer()
+        x = np.empty((0, 1, 10, 10))
+        y = np.empty((0,), dtype=int)
+        with pytest.raises(ValueError, match="empty dataset"):
+            trainer.fit(x, y, epochs=1, batch_size=8,
+                        rng=np.random.default_rng(0))
+
+    def test_evaluate_empty_dataset_raises_value_error(self):
+        trainer = self._trainer()
+        with pytest.raises(ValueError, match="empty dataset"):
+            trainer.evaluate(np.empty((0, 1, 10, 10)), np.empty((0,)))
+
 
 class TestTrainingConvergence:
     @pytest.mark.parametrize("mode", ["exact", "local"])

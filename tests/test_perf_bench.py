@@ -62,6 +62,36 @@ class TestBenchCli:
         assert counters["speedup_jobs2"] > 0
         assert bench["timing"]["best_s"] > 0
 
+    def test_local_backward_entry_certifies_parity(self, quick_report):
+        """The training-backward benchmark must carry the untimed
+        parity evidence next to its speedup: gradient agreement and
+        counter-exact update-skip accounting under a dead-node set."""
+        __, report = quick_report
+        bench = next(
+            b for b in report["benchmarks"] if b["name"] == "local_backward"
+        )
+        counters = bench["counters"]
+        assert counters["parity_max_abs_diff"] <= 1e-12
+        assert counters["update_skips_match"] == 1
+        assert counters["update_skips"] > 0
+        assert counters["n_dead_nodes"] >= 1
+        assert bench["params"]["dead_nodes"]
+        assert bench["reference_timing"]["best_s"] > 0
+        assert bench["speedup"] > 0
+
+    def test_train_epoch_entry_reports_reference_and_parity(
+        self, quick_report
+    ):
+        """train_epoch now times vectorized vs. reference end-to-end
+        and certifies one-epoch weight parity untimed."""
+        __, report = quick_report
+        bench = next(
+            b for b in report["benchmarks"] if b["name"] == "train_epoch"
+        )
+        assert bench["reference_timing"]["best_s"] > 0
+        assert bench["speedup"] > 0
+        assert bench["counters"]["parity_max_abs_diff"] <= 1e-9
+
     def test_suite_fans_out_with_jobs(self):
         """``run_suite(jobs=2)`` runs the pooled benchmarks in worker
         processes and maps the results back in canonical order; the
@@ -72,7 +102,7 @@ class TestBenchCli:
         names = [b["name"] for b in report["benchmarks"]]
         serial_names = [
             "im2col_unfold", "forward_e2e", "forward_masked_dead20",
-            "train_epoch", "sim_event_throughput",
+            "local_backward", "train_epoch", "sim_event_throughput",
             "traffic_replay_batched", "telemetry_overhead",
             "sweep_scaling",
         ]
