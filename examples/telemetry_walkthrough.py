@@ -68,8 +68,12 @@ def main():
     )
 
     spans = obs.span_summary(optimal_events)
+    # Steady-state forwards are served by a compiled plan (one
+    # exec.plan span each); the event-driven path's per-layer spans
+    # appear only when the executor falls back to the oracle.
     print(f"optimal-placement trace: {len(optimal_events)} events "
-          f"({spans.get('exec.layer', 0)} layer spans)")
+          f"({spans.get('exec.plan', 0)} compiled-plan spans, "
+          f"{spans.get('exec.layer', 0)} layer spans)")
 
     # The Fig.-10 artifact, rebuilt from the trace alone.
     optimal = obs.per_node_costs(optimal_events)

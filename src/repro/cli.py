@@ -259,13 +259,21 @@ def cmd_bench(args) -> int:
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"report written to {out}\n")
-    print(f"{'benchmark':28s} {'best':>10s} {'mean':>10s} {'speedup':>8s}")
+    print(f"{'benchmark':28s} {'best':>10s} {'mean':>10s} {'speedup':>8s} "
+          f"{'parity':>7s}")
     for bench in report["benchmarks"]:
         timing = bench["timing"]
         speedup = bench.get("speedup")
+        # Entries that assert equivalence untimed before the clocks
+        # start record it in parity_* counters; surface that so a
+        # certified speedup is distinguishable from a bare timing.
+        certified = any(
+            key.startswith("parity") for key in bench.get("counters", {})
+        )
         print(f"{bench['name']:28s} {timing['best_s']*1e3:8.2f}ms "
               f"{timing['mean_s']*1e3:8.2f}ms "
-              f"{'%.2fx' % speedup if speedup else '-':>8s}")
+              f"{'%.2fx' % speedup if speedup else '-':>8s} "
+              f"{'yes' if certified else '-':>7s}")
 
     if args.against is None:
         return 0

@@ -15,6 +15,9 @@ nodes, and weights are updated locally to avoid communication.
 - :mod:`repro.core.executor` -- distributed forward execution over a
   :class:`repro.wsn.Network` with measured traffic and node-failure
   masking.
+- :mod:`repro.core.compiled` -- steady-state fast path: placement +
+  network schedule compiled to a flat ndarray program with one batched
+  traffic-accounting update (event-driven path kept as parity oracle).
 - :mod:`repro.core.training` -- exact vs. local (communication-free)
   distributed backpropagation.
 """
@@ -28,6 +31,13 @@ from repro.core.assignment import (
     round_robin_assignment,
 )
 from repro.core.costmodel import CommunicationCostModel, CostReport
+from repro.core.compiled import (
+    CompiledPlan,
+    HopProgram,
+    LayerMask,
+    PlanNotCompilable,
+    compile_plan,
+)
 from repro.core.executor import DistributedExecutor
 from repro.core.training import MicroDeepTrainer
 from repro.core.planner import (
@@ -53,6 +63,11 @@ __all__ = [
     "random_assignment",
     "CommunicationCostModel",
     "CostReport",
+    "CompiledPlan",
+    "HopProgram",
+    "LayerMask",
+    "PlanNotCompilable",
+    "compile_plan",
     "DistributedExecutor",
     "MicroDeepTrainer",
 ]

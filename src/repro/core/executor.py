@@ -9,7 +9,16 @@ experiment (E8) quantifies.
 
 Hot paths are vectorized (see README "Performance"):
 
-- traffic replay aggregates the transfer list per
+- in steady state (ideal links, every node up, no fault adapter) the
+  whole forward is served by a **compiled plan**
+  (:mod:`repro.core.compiled`): precomputed routes folded into one
+  batched traffic-accounting update, plus the unchanged layer
+  arithmetic — no per-transfer Python, no route lookups, no event
+  loop.  The ``plan=`` switch controls it (``"auto"`` by default);
+  the event-driven path below stays as the parity oracle and is
+  re-selected automatically the moment a fault adapter, lossy link
+  model, or active brownout appears;
+- the event-driven traffic replay aggregates the transfer list per
   ``(layer, src, dst, n_values)`` and sends each group through
   :meth:`repro.wsn.Network.unicast_bulk` once, instead of one Python
   ``unicast`` per transfer per batch element;
@@ -29,6 +38,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.assignment import Placement
+from repro.core.compiled import CompiledPlan, PlanNotCompilable, compile_plan
+from repro.core.compiled.compiler import plan_blocked
 from repro.core.costmodel import CommunicationCostModel
 from repro.core.unitgraph import UnitGraph
 from repro.nn.model import Sequential
@@ -57,6 +68,7 @@ class DistributedExecutor:
         placement: Placement,
         network: Network,
         telemetry=None,
+        fault_adapter=None,
     ) -> None:
         if graph.model is not model:
             raise ValueError("graph was not extracted from this model")
@@ -64,11 +76,17 @@ class DistributedExecutor:
         self.graph = graph
         self.placement = placement
         self.network = network
+        #: When a fault adapter is attached, compiled plans are unsound
+        #: (the adapter rewrites activations) and :meth:`forward` always
+        #: takes the event-driven path.
+        self.fault_adapter = fault_adapter
         self._cost_model = CommunicationCostModel(graph, network.topology)
         self._transfer_list = None
         self._aggregated_list = None
         self._owner_index = None
         self._dead_index_cache: Dict[frozenset, list] = {}
+        self._compiled_plan: Optional[CompiledPlan] = None
+        self._plan_uncompilable: Optional[str] = None
         if telemetry is None:
             from repro.obs.runtime import current
 
@@ -104,26 +122,121 @@ class DistributedExecutor:
         x: np.ndarray,
         count_traffic: bool = True,
         per_element: bool = False,
+        plan="auto",
     ) -> np.ndarray:
         """Distributed forward pass.
 
         When ``count_traffic`` is set, every cross-node transfer of one
         inference is accounted through the network layer **once per
-        batch element** (each inference pays its own traffic).  The
-        default path aggregates identical transfers and replays each
-        group with one bulk send; ``per_element=True`` selects the
-        original one-``unicast``-per-transfer-per-element compatibility
-        loop (same traffic stats, Python-interpreter bound).
+        batch element** (each inference pays its own traffic).
+
+        ``plan`` selects the execution strategy:
+
+        - ``"auto"`` (default): compile the placement + schedule into a
+          :class:`repro.core.compiled.CompiledPlan` on first use and
+          serve the forward from it — unless a fault adapter, lossy
+          link model, installed :class:`~repro.wsn.network.LinkFaultModel`,
+          or down node (brownout/crash) makes the static schedule
+          unsound, in which case the call falls back to the
+          event-driven path below (and retries compilation once the
+          condition clears).
+        - a :class:`CompiledPlan` instance: use that plan (it must have
+          been compiled against this executor's network), with the same
+          soundness re-check and fallback.
+        - ``None``: always take the event-driven path — the parity
+          oracle the differential suite pins the compiled path against.
+
+        The event-driven path aggregates identical transfers and
+        replays each group with one bulk send; ``per_element=True``
+        (implies the event path) selects the original
+        one-``unicast``-per-transfer-per-element compatibility loop
+        (same traffic stats, Python-interpreter bound).
 
         Returns:
             The model logits (identical to the centralized forward).
         """
+        if plan is not None and not per_element:
+            blocked = plan_blocked(self)
+            if blocked is None:
+                if isinstance(plan, CompiledPlan):
+                    if plan.network is not self.network:
+                        raise ValueError(
+                            "plan was compiled against a different network"
+                        )
+                    compiled = plan
+                else:
+                    compiled = self._ensure_plan()
+                if compiled is not None:
+                    return self._forward_compiled(compiled, x, count_traffic)
+                self._note_fallback(self._plan_uncompilable or "uncompilable")
+            else:
+                self._note_fallback(blocked[0])
         if count_traffic:
             self.replay_traffic(x.shape[0], per_element=per_element)
         tel = self._telemetry
         if not tel.enabled:
             return self.model.forward(x, training=False)
         return self._forward_traced(x, tel)
+
+    # -- compiled fast path --------------------------------------------------
+    def compiled_plan(self) -> CompiledPlan:
+        """The executor's compiled plan, building it if needed.
+
+        Raises:
+            PlanNotCompilable: when the current state cannot be served
+                by a static plan (``forward(plan="auto")`` swallows
+                this and falls back; this accessor surfaces it).
+        """
+        blocked = plan_blocked(self)
+        if blocked is not None:
+            raise PlanNotCompilable(blocked[0], blocked[1])
+        compiled = self._ensure_plan()
+        if compiled is None:
+            raise PlanNotCompilable(self._plan_uncompilable or "uncompilable")
+        return compiled
+
+    def _ensure_plan(self) -> Optional[CompiledPlan]:
+        """Memoized compilation.  A static failure (e.g. an unroutable
+        transfer under ideal, all-alive conditions) cannot heal, so it
+        is cached and compilation is not retried."""
+        if self._compiled_plan is not None:
+            return self._compiled_plan
+        if self._plan_uncompilable is not None:
+            return None
+        try:
+            self._compiled_plan = compile_plan(self)
+        except PlanNotCompilable as exc:
+            self._plan_uncompilable = exc.reason
+            return None
+        return self._compiled_plan
+
+    def _forward_compiled(
+        self, compiled: CompiledPlan, x: np.ndarray, count_traffic: bool
+    ) -> np.ndarray:
+        tel = self._telemetry
+        if not tel.enabled:
+            return compiled.run(x, count_traffic=count_traffic)
+        hops = compiled.hops
+        with tel.tracer.span(
+            "exec.plan",
+            batch=int(x.shape[0]),
+            links=hops.n_links,
+            transfer_groups=hops.n_transfer_groups,
+        ):
+            tel.metrics.counter("exec.plan_runs").inc()
+            return compiled.run(x, count_traffic=count_traffic)
+
+    def _note_fallback(self, reason: str) -> None:
+        """Record that a planned forward was served by the event-driven
+        oracle instead.  The ``exec.plan-fallback`` instant fires only
+        when a working plan existed before (steady state lost), so
+        traces distinguish "never compiled" from "degraded"."""
+        tel = self._telemetry
+        if not tel.enabled:
+            return
+        tel.metrics.counter("exec.plan_fallbacks", reason=reason).inc()
+        if self._compiled_plan is not None:
+            tel.tracer.instant("exec.plan-fallback", reason=reason)
 
     def _forward_traced(self, x: np.ndarray, tel) -> np.ndarray:
         """The traced twin of ``model.forward``: same layer sequence

@@ -20,6 +20,11 @@ transmission timing, multi-channel assignment, and recovery, which are
    per frame as the error-recovery budget;
 5. verifies feasibility (airtime fits in the cycle) and reports the
    schedule as a plain data object a runtime can execute.
+
+This plans the *collection* side (when and on which channel each node
+reports).  The complementary planner pass for the *inference* side —
+compiling a placement + network schedule into a flat ndarray program —
+lives in :mod:`repro.core.compiled`.
 """
 
 from __future__ import annotations

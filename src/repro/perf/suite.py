@@ -11,7 +11,13 @@ Workloads:
 - ``traffic_replay_batched`` — batched cross-node transfer replay,
   aggregated bulk sends vs. one ``unicast`` per transfer per element;
 - ``forward_e2e`` — full distributed forward (traffic + math), both
-  replay modes;
+  event-driven replay modes (pinned ``plan=None``; the compiled path
+  has its own entry);
+- ``forward_plan`` — the compiled-plan fast path vs. the event-driven
+  oracle at the per-request operating point (small batch, where the
+  route replay dominates); byte-identical logits and exactly equal
+  traffic counters are asserted untimed before the clocks start, so
+  the committed speedup certifies an equivalent computation;
 - ``forward_masked_dead20`` — failure masking with 20 % dead nodes,
   fancy-indexed zeroing vs. the per-position hook loop;
 - ``im2col_unfold`` — pooling-regime patch extraction with the
@@ -155,10 +161,13 @@ def bench_forward_e2e(protocol: BenchProtocol, seed: int, quick: bool) -> Dict:
     __, __, __, __, network, executor = _scenario(seed, input_hw, (4, 4))
     rng = np.random.default_rng(seed + 1)
     x = rng.normal(size=(batch, 1) + tuple(input_hw))
-    executor.forward(x, count_traffic=False)  # build caches untimed
+    # Pinned plan=None throughout: this entry measures the event-driven
+    # replay modes against each other (forward_plan owns the compiled
+    # comparison).
+    executor.forward(x, count_traffic=False, plan=None)  # caches, untimed
 
     timing = measure(
-        lambda __: executor.forward(x),
+        lambda __: executor.forward(x, plan=None),
         protocol, setup=network.reset_stats,
     )
     reference = measure(
@@ -173,6 +182,96 @@ def bench_forward_e2e(protocol: BenchProtocol, seed: int, quick: bool) -> Dict:
         "timing": timing.to_dict(),
         "reference_timing": reference.to_dict(),
         "speedup": reference.best_s / timing.best_s,
+    }
+
+
+def _full_stats(network: Network) -> Dict:
+    """Every counter the network keeps (node counters included) — the
+    object the compiled path must reproduce exactly."""
+    s = network.stats
+    return {
+        "sent": s.sent,
+        "delivered": s.delivered,
+        "dropped": s.dropped,
+        "corrupted": s.corrupted,
+        "duplicated": s.duplicated,
+        "total_hops": s.total_hops,
+        "rx": dict(s.per_node_rx_values),
+        "tx": dict(s.per_node_tx_values),
+        "node_counts": {
+            n.node_id: (n.tx_count, n.rx_count, n.tx_values, n.rx_values)
+            for n in network.topology
+        },
+    }
+
+
+def bench_forward_plan(protocol: BenchProtocol, seed: int, quick: bool) -> Dict:
+    """Compiled-plan forward vs. the event-driven oracle.
+
+    The workload is pinned to the per-request operating point (small
+    batch — how ``repro serve`` runs inference), where the event path's
+    cost is dominated by per-transfer route lookups, which are
+    batch-independent; that is the cost compilation amortizes into one
+    bulk accounting update.  At large batches the layer GEMMs dominate
+    both paths (the arithmetic is the exact same layer sequence) and
+    they converge.
+
+    Before anything is timed, the two paths are asserted differentially
+    equivalent: byte-identical logits and exactly equal traffic
+    counters (every global and per-node counter the network keeps), so
+    the committed entry certifies the speedup is of an equivalent
+    computation.
+    """
+    batch = 8
+    input_hw = (10, 10) if quick else (12, 12)
+    __, __, __, __, network, executor = _scenario(seed, input_hw, (4, 4))
+    rng = np.random.default_rng(seed + 8)
+    x = rng.normal(size=(batch, 1) + tuple(input_hw))
+    plan = executor.compiled_plan()  # compile outside the timers
+    counters = CounterRegistry()
+
+    # Untimed differential parity against the oracle.
+    network.reset_stats()
+    out_plan = executor.forward(x)
+    plan_stats = _full_stats(network)
+    network.reset_stats()
+    out_oracle = executor.forward(x, plan=None)
+    oracle_stats = _full_stats(network)
+    if out_plan.tobytes() != out_oracle.tobytes():
+        raise AssertionError(  # pragma: no cover - parity contract
+            "compiled plan logits diverged from the event-driven oracle"
+        )
+    if plan_stats != oracle_stats:
+        raise AssertionError(  # pragma: no cover - parity contract
+            f"compiled traffic accounting diverged: "
+            f"{plan_stats} != {oracle_stats}"
+        )
+    counters.set("parity_logits_identical", 1.0)
+    counters.set("parity_stats_equal", 1.0)
+    describe = plan.describe()
+    counters.set("n_links", describe["links"])
+    counters.set("n_transfer_groups", describe["transfer_groups"])
+    counters.set("values_per_inference", describe["values_per_inference"])
+    counters.set("batch", batch)
+
+    timing = measure(
+        lambda __: executor.forward(x),
+        protocol, setup=network.reset_stats,
+    )
+    reference = measure(
+        lambda __: executor.forward(x, plan=None),
+        protocol, setup=network.reset_stats,
+    )
+    network.reset_stats()
+    return {
+        "name": "forward_plan",
+        "params": {"batch": batch, "input_hw": list(input_hw),
+                   "node_grid": [4, 4], "seed": seed},
+        "input_digest": input_digest(x, extra=f"forward_plan seed={seed}"),
+        "timing": timing.to_dict(),
+        "reference_timing": reference.to_dict(),
+        "speedup": reference.best_s / timing.best_s,
+        "counters": counters.to_dict(),
     }
 
 
@@ -468,6 +567,11 @@ def bench_telemetry_overhead(
     is independent of any session installed around the suite (e.g.
     ``repro bench --trace``).  ``counters.overhead_pct`` is the
     headline number; the documented budget is < 5 %.
+
+    Pinned ``plan=None``: the event-driven path is the span-richest
+    instrumentation (one ``exec.layer`` span per layer inside
+    ``exec.forward`` plus ``exec.replay``), so its overhead bounds the
+    compiled path's single ``exec.plan`` span from above.
     """
     from repro.obs.runtime import NULL, Telemetry
 
@@ -482,8 +586,8 @@ def bench_telemetry_overhead(
     )
     rng = np.random.default_rng(seed + 1)
     x = rng.normal(size=(batch, 1) + tuple(input_hw))
-    exec_on.forward(x, count_traffic=False)  # build caches untimed
-    exec_off.forward(x, count_traffic=False)
+    exec_on.forward(x, count_traffic=False, plan=None)  # caches, untimed
+    exec_off.forward(x, count_traffic=False, plan=None)
 
     def setup_on() -> None:
         net_on.reset_stats()
@@ -495,19 +599,19 @@ def bench_telemetry_overhead(
     # overhead from the medians.
     for __ in range(protocol.warmup):
         setup_on()
-        exec_on.forward(x)
+        exec_on.forward(x, plan=None)
         net_off.reset_stats()
-        exec_off.forward(x)
+        exec_off.forward(x, plan=None)
     runs_on: List[float] = []
     runs_off: List[float] = []
     for __ in range(protocol.repeat * 3):
         setup_on()
         t0 = time.perf_counter()
-        exec_on.forward(x)
+        exec_on.forward(x, plan=None)
         runs_on.append(time.perf_counter() - t0)
         net_off.reset_stats()
         t0 = time.perf_counter()
-        exec_off.forward(x)
+        exec_off.forward(x, plan=None)
         runs_off.append(time.perf_counter() - t0)
     traced = TimingStats(runs_on)
     null = TimingStats(runs_off)
@@ -603,6 +707,7 @@ def bench_sweep_scaling(
 _BENCHMARKS = (
     bench_traffic_replay,
     bench_forward_e2e,
+    bench_forward_plan,
     bench_forward_masked,
     bench_im2col_unfold,
     bench_sim_events,

@@ -253,6 +253,71 @@ class Network:
         self.stats.delivered += copies
         return copies
 
+    def account_compiled(self, program, copies: int) -> int:
+        """Bulk accounting hook for compiled inference plans.
+
+        ``program`` is a :class:`repro.core.compiled.HopProgram`
+        holding one inference's traffic pre-aggregated per directed
+        link and per node; this applies ``copies`` inferences' worth
+        in one batched update per tally — the ``unicast_bulk``
+        counter-exact scaling generalized to the whole forward.  Every
+        counter ends up exactly where replaying the transfer list
+        through :meth:`unicast_bulk` would put it (the compiled parity
+        suite pins this), while the Python cost drops from
+        ``O(transfer groups x hops)`` route walks to ``O(nodes)``.
+
+        Plans are only compiled for ideal links, so unlike
+        :meth:`unicast_bulk` there is no lossy fallback here — calling
+        this on a lossy or fault-injected network is a programming
+        error and raises.
+        """
+        if copies < 0:
+            raise ValueError(f"copies must be non-negative, got {copies}")
+        if copies == 0:
+            return 0
+        if self.loss_probability > 0.0 or self.link_faults is not None:
+            raise RuntimeError(
+                "compiled accounting requires ideal links; lossy or "
+                "fault-injected networks must replay per message"
+            )
+        stats = self.stats
+        delivered = program.sent * copies
+        stats.sent += delivered
+        stats.delivered += delivered
+        stats.total_hops += program.hops * copies
+        for node_id, packets, values in zip(
+            program.tx_nodes.tolist(),
+            program.tx_packets.tolist(),
+            program.tx_values.tolist(),
+        ):
+            node = self.topology.node(node_id)
+            node.tx_count += packets * copies
+            node.tx_values += values * copies
+            stats.per_node_tx_values[node_id] = (
+                stats.per_node_tx_values.get(node_id, 0) + values * copies
+            )
+        for node_id, packets, values in zip(
+            program.rx_nodes.tolist(),
+            program.rx_packets.tolist(),
+            program.rx_values.tolist(),
+        ):
+            node = self.topology.node(node_id)
+            node.rx_count += packets * copies
+            node.rx_values += values * copies
+            stats.per_node_rx_values[node_id] = (
+                stats.per_node_rx_values.get(node_id, 0) + values * copies
+            )
+        link_track = self._link_values
+        if link_track is not None:
+            for src, dst, values in zip(
+                program.link_src.tolist(),
+                program.link_dst.tolist(),
+                program.link_values.tolist(),
+            ):
+                key = (src, dst)
+                link_track[key] = link_track.get(key, 0) + values * copies
+        return delivered
+
     def broadcast_from(self, src: int, n_values: int) -> int:
         """Deliver to every alive node (via unicast routes); returns
         the number of nodes reached."""

@@ -191,3 +191,57 @@ def test_lint_detects_a_violation():
         "import repro.observatory\n",
     ):
         assert not module_scope_obs_imports(ast.parse(src)), src
+
+
+def sim_imports_any_scope(tree):
+    """Every import statement touching ``repro.sim``, at any depth —
+    function bodies included.  The compiled-plan package's whole value
+    is that its hot path can never re-enter the event loop, so even
+    the lazy-import escape hatch is banned there."""
+    offenders = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(a.name == "repro.sim" or a.name.startswith("repro.sim.")
+                   for a in node.names):
+                offenders.append(node.lineno)
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if mod == "repro.sim" or mod.startswith("repro.sim."):
+                offenders.append(node.lineno)
+            elif mod == "repro" and any(a.name == "sim" for a in node.names):
+                offenders.append(node.lineno)
+    return offenders
+
+
+def test_compiled_package_never_imports_sim():
+    compiled = SRC / "core" / "compiled"
+    files = sorted(compiled.rglob("*.py"))
+    assert files, "repro.core.compiled package is missing"
+    offenders = []
+    for path in files:
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno in sim_imports_any_scope(tree):
+            offenders.append(f"{path.relative_to(SRC.parent)}:{lineno}")
+    assert offenders == [], (
+        "repro.core.compiled must never import repro.sim (the compiled "
+        f"hot path may not re-enter the event loop): {offenders}"
+    )
+
+
+def test_sim_lint_detects_violations():
+    for src in (
+        "import repro.sim\n",
+        "import repro.sim.engine\n",
+        "from repro.sim import Simulator\n",
+        "from repro.sim.engine import Simulator\n",
+        "from repro import sim\n",
+        "def f():\n    from repro.sim import Simulator\n",  # lazy too
+        "class C:\n    def m(self):\n        import repro.sim\n",
+    ):
+        assert sim_imports_any_scope(ast.parse(src)), src
+    for src in (
+        "from repro.wsn import Network\n",
+        "import repro.simulation\n",
+        "from repro.core.compiled.plan import CompiledPlan\n",
+    ):
+        assert not sim_imports_any_scope(ast.parse(src)), src

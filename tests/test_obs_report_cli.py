@@ -104,7 +104,9 @@ class TestCostTables:
         comparison = obs.cost_comparison_markdown(costs, costs)
         assert "| **peak** |" in comparison
         summary = obs.trace_summary_markdown(events)
-        assert "exec.forward" in summary
+        # The steady-state default serves forward() from a compiled
+        # plan, so the trace carries exec.plan spans.
+        assert "exec.plan" in summary
 
     def test_counter_samples_last_write_wins(self):
         events = [

@@ -79,6 +79,44 @@ class TestBenchCli:
         assert bench["reference_timing"]["best_s"] > 0
         assert bench["speedup"] > 0
 
+    def test_forward_plan_entry_certifies_differential_parity(
+        self, quick_report
+    ):
+        """The compiled-plan benchmark must carry its differential
+        evidence next to the speedup: byte-identical logits and exactly
+        equal traffic counters against the event-driven oracle, plus
+        the plan's shape (links, transfer groups) so a committed entry
+        documents what was compiled."""
+        __, report = quick_report
+        bench = next(
+            b for b in report["benchmarks"] if b["name"] == "forward_plan"
+        )
+        counters = bench["counters"]
+        assert counters["parity_logits_identical"] == 1
+        assert counters["parity_stats_equal"] == 1
+        assert counters["n_links"] > 0
+        assert counters["n_transfer_groups"] > 0
+        assert counters["values_per_inference"] > 0
+        assert counters["batch"] == 8
+        assert bench["reference_timing"]["best_s"] > 0
+        assert bench["speedup"] > 0
+
+    def test_forward_e2e_and_plan_measure_different_paths(
+        self, quick_report
+    ):
+        """forward_e2e stays pinned to the event-driven path; the
+        compiled comparison lives only in forward_plan.  Guarding the
+        pin here keeps a future default flip from silently turning
+        forward_e2e into a compiled-vs-compiled no-op."""
+        __, report = quick_report
+        by_name = {b["name"]: b for b in report["benchmarks"]}
+        assert "forward_plan" in by_name
+        assert "forward_e2e" in by_name
+        # The plan benchmark's reference IS the e2e fast path; if the
+        # pin broke, timing and reference would converge to ~1x.  The
+        # compiled path must be well clear of that even in quick mode.
+        assert by_name["forward_plan"]["speedup"] > 2.0
+
     def test_train_epoch_entry_reports_reference_and_parity(
         self, quick_report
     ):
@@ -101,10 +139,10 @@ class TestBenchCli:
         assert report["protocol"]["jobs"] == 2
         names = [b["name"] for b in report["benchmarks"]]
         serial_names = [
-            "im2col_unfold", "forward_e2e", "forward_masked_dead20",
-            "local_backward", "train_epoch", "sim_event_throughput",
-            "traffic_replay_batched", "telemetry_overhead",
-            "sweep_scaling",
+            "im2col_unfold", "forward_e2e", "forward_plan",
+            "forward_masked_dead20", "local_backward", "train_epoch",
+            "sim_event_throughput", "traffic_replay_batched",
+            "telemetry_overhead", "sweep_scaling",
         ]
         assert set(names) == set(serial_names)
 
