@@ -12,6 +12,7 @@ Usage::
     python -m repro.cli sweep chaos --seeds 0-4 --grid loss_rate=0.0,0.2,0.4
     python -m repro.cli trace quickstart --out trace.jsonl
     python -m repro.cli stats trace.jsonl
+    python -m repro.cli serve --tenants fall,hvac --port 8080
 
 ``run`` executes the named example script from the installed
 repository's ``examples/`` directory (development layout) so users can
@@ -30,12 +31,16 @@ grid through the deterministic process-parallel engine
 except for the ``wall`` timing section.  ``train`` runs MicroDeep
 distributed training on the toy field task — exact or local updates,
 vectorized or reference backward — and can record the ``train.step`` /
-``exec.backward`` telemetry to a trace file.
+``exec.backward`` telemetry to a trace file.  ``serve`` hosts the
+multi-tenant recognition HTTP service (:mod:`repro.serve`) until
+interrupted (Ctrl-C drains in-flight batches before exiting) or until
+``--stop-after N`` requests have been handled.
 
-Exit codes: 0 success; 2 usage error (unknown example/task, bad
-``--grid``/``--seeds`` spec, unreadable or schema-invalid ``bench
---against`` baseline); 3 ``bench`` performance regression against the
-baseline.
+Exit codes: 0 success (including a ``serve`` shutdown via Ctrl-C or
+``--stop-after``); 2 usage error (unknown example/task/scenario, bad
+``--grid``/``--seeds`` spec, invalid ``serve`` batching knobs,
+unreadable or schema-invalid ``bench --against`` baseline); 3
+``bench`` performance regression against the baseline.
 """
 
 from __future__ import annotations
@@ -476,6 +481,62 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Host the recognition service until interrupted."""
+    import asyncio
+
+    from repro.serve import BatchPolicy, ServeApp, TenantConfig
+    from repro.serve.tenants import SCENARIOS
+
+    names = [t.strip() for t in args.tenants.split(",") if t.strip()]
+    if not names:
+        print("at least one tenant is required (--tenants)", file=sys.stderr)
+        return 2
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}; available: "
+              f"{', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+        return 2
+    try:
+        policy = BatchPolicy(
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            max_pending=args.max_pending,
+        )
+        policy.validate()
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    app = ServeApp(policy)
+    for name in names:
+        print(f"building tenant {name!r} "
+              f"(seed {args.seed}, {args.epochs} training epoch(s))...",
+              flush=True)
+        app.add_tenant(TenantConfig(
+            name=name, scenario=name, seed=args.seed,
+            train_epochs=args.epochs,
+        ))
+
+    def ready(started) -> None:
+        # Flushed so a supervisor reading a pipe sees readiness live.
+        print(f"serving on http://{args.host}:{started.port}")
+        print("  POST /v1/recognize   {\"tenant\": ..., \"input\": [[...]]}")
+        print("  POST /v1/tenants     hot-swap a tenant")
+        print("  GET  /healthz /metrics /traces")
+        print(f"  batching: max_batch={policy.max_batch} "
+              f"max_delay={policy.max_delay}s "
+              f"max_pending={policy.max_pending}", flush=True)
+
+    try:
+        asyncio.run(app.run(
+            args.host, args.port, stop_after=args.stop_after, ready=ready,
+        ))
+    except KeyboardInterrupt:
+        print("interrupted; draining")
+    print(f"served {app.requests_handled} request(s); bye")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """Argument parsing and dispatch; returns the exit code."""
     parser = argparse.ArgumentParser(
@@ -589,6 +650,39 @@ def main(argv: Optional[list] = None) -> int:
     trace_parser.add_argument("--wall", action="store_true",
                               help="include wall-clock durations (trace is "
                                    "no longer byte-deterministic)")
+    serve_parser = sub.add_parser(
+        "serve", help="host the multi-tenant recognition HTTP service"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8080,
+                              help="bind port; 0 picks an ephemeral port "
+                                   "(default 8080)")
+    serve_parser.add_argument("--tenants", default="fall,hvac",
+                              metavar="NAMES",
+                              help="comma-separated scenario tenants "
+                                   "(default fall,hvac)")
+    serve_parser.add_argument("--seed", type=int, default=0,
+                              help="tenant build seed (default 0)")
+    serve_parser.add_argument("--epochs", type=int, default=2,
+                              help="training epochs per tenant at startup "
+                                   "(default 2; 0 skips training)")
+    serve_parser.add_argument("--max-batch", type=int, default=8,
+                              metavar="N",
+                              help="flush a tenant's window at N pending "
+                                   "requests (default 8)")
+    serve_parser.add_argument("--max-delay", type=float, default=0.005,
+                              metavar="SECONDS",
+                              help="batching window (default 0.005; 0 "
+                                   "serves each request synchronously)")
+    serve_parser.add_argument("--max-pending", type=int, default=256,
+                              metavar="N",
+                              help="per-tenant backpressure bound "
+                                   "(default 256)")
+    serve_parser.add_argument("--stop-after", type=int, default=None,
+                              metavar="N",
+                              help="exit cleanly after N handled requests "
+                                   "(smoke tests)")
     stats_parser = sub.add_parser(
         "stats", help="per-node cost tables from a written trace"
     )
@@ -611,6 +705,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_sweep(args)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "stats":
         return cmd_stats(args)
     return cmd_run(args.name)

@@ -35,6 +35,13 @@ Workloads:
 - ``telemetry_overhead`` — the forward_e2e workload with a live
   telemetry session vs. the null backend; the documented budget is
   **< 5 % overhead** with tracing on (``counters.overhead_pct``);
+- ``serve_throughput`` — the serving stack end to end: a closed-loop
+  asyncio load generator against a live :mod:`repro.serve` app on an
+  ephemeral port, micro-batching on vs. off at the same offered
+  concurrency; byte-identical served-vs-direct logits and exact
+  ``/metrics`` reconciliation are asserted untimed before the clocks
+  start (the ``parity_*`` counters), and ``counters.rps`` /
+  ``p50_ms`` / ``p99_ms`` summarize the best batched run;
 - ``sweep_scaling`` — the chaos-cell sweep through
   :func:`repro.par.run_sweep` at increasing worker counts; the
   timings include pool startup (honest end-to-end wall clock), the
@@ -704,6 +711,169 @@ def bench_sweep_scaling(
     }
 
 
+def bench_serve_throughput(
+    protocol: BenchProtocol, seed: int, quick: bool
+) -> Dict:
+    """The serving stack end to end: requests/sec over real sockets.
+
+    A closed-loop asyncio load generator drives ``n_requests``
+    recognition requests (round-robin over two tenants) through a live
+    :class:`repro.serve.ServeApp` on an ephemeral port.  The timed
+    side runs the micro-batching policy; the reference side is an
+    identical app with batching disabled (``max_batch=1``,
+    ``max_delay=0``), so the committed speedup is the measured benefit
+    of request coalescing at the offered concurrency.  Runs are
+    interleaved (batched, unbatched) pairs so drift hits both sides
+    equally.
+
+    Before any clock starts, a parity pass asserts the served logits
+    are **byte-identical** to a direct
+    :meth:`~repro.serve.tenants.Tenant.direct_forward` on the same
+    inputs, and that ``/metrics`` reconciles exactly
+    (``serve.requests`` equals requests sent equals the
+    ``serve.batch_size`` histogram mass) — surfaced as the ``parity_*``
+    counters in the bench table.  ``counters.rps`` and
+    ``counters.p50_ms``/``p99_ms`` come from the best batched run.
+    """
+    import asyncio
+
+    from repro.serve import BatchPolicy, ServeApp, TenantConfig
+    from repro.serve.loadgen import run_load
+
+    n_requests = 24 if quick else 96
+    # Eight closed-loop workers over two tenants offer ~4 concurrent
+    # requests per lane; max_batch matches, so windows fill and flush
+    # without waiting out the max_delay timer.
+    concurrency = 8
+    tenants = ("fall", "hvac")
+    batched_policy = BatchPolicy(
+        max_batch=4, max_delay=0.002, max_pending=1024
+    )
+    unbatched_policy = BatchPolicy(
+        max_batch=1, max_delay=0.0, max_pending=1024
+    )
+
+    def build_app(policy: "BatchPolicy") -> "ServeApp":
+        app = ServeApp(policy)
+        for name in tenants:
+            app.add_tenant(TenantConfig(
+                name=name, scenario=name, seed=seed, train_epochs=0,
+            ))
+        return app
+
+    app_on = build_app(batched_policy)
+    app_off = build_app(unbatched_policy)
+    rng = np.random.default_rng(seed + 1)
+    per_tenant = {
+        name: rng.normal(
+            size=(n_requests,) + app_on.pool.require(name).input_shape
+        )
+        for name in tenants
+    }
+    payloads = []
+    indices: Dict[str, List[int]] = {name: [] for name in tenants}
+    for i in range(n_requests):
+        name = tenants[i % len(tenants)]
+        j = len(indices[name])
+        indices[name].append(i)
+        payloads.append({
+            "tenant": name, "input": per_tenant[name][j].tolist(),
+        })
+
+    async def load(app: "ServeApp"):
+        return await run_load(
+            "127.0.0.1", app.port, payloads, concurrency=concurrency
+        )
+
+    results: Dict[str, object] = {}
+
+    async def main() -> None:
+        await app_on.start(port=0)
+        await app_off.start(port=0)
+        # -- untimed parity pass -----------------------------------------
+        report = await load(app_on)
+        if set(report.statuses) != {200}:  # pragma: no cover - contract
+            raise AssertionError(f"statuses: {set(report.statuses)}")
+        for name in tenants:
+            k = len(indices[name])
+            direct = app_on.pool.require(name).direct_forward(
+                per_tenant[name][:k]
+            )
+            for j, i in enumerate(indices[name]):
+                got = np.asarray(
+                    report.responses[i]["logits"], dtype=np.float64
+                )
+                if got.tobytes() != direct[j].tobytes():
+                    raise AssertionError(  # pragma: no cover - contract
+                        f"served logits differ from direct forward "
+                        f"({name} request {j})"
+                    )
+        metrics = app_on.telemetry.metrics
+        served = metrics.total("serve.requests")
+        mass = sum(
+            inst.sum for metric_name, __, inst in metrics.series()
+            if metric_name == "serve.batch_size"
+        )
+        if not served == mass == float(n_requests):
+            raise AssertionError(  # pragma: no cover - contract
+                f"metrics do not reconcile: requests={served} "
+                f"mass={mass} sent={n_requests}"
+            )
+        # -- interleaved timed runs --------------------------------------
+        for __ in range(protocol.warmup):
+            await load(app_on)
+            await load(app_off)
+        runs_on: List[float] = []
+        runs_off: List[float] = []
+        best_report = None
+        for __ in range(protocol.repeat):
+            t0 = time.perf_counter()
+            run_report = await load(app_on)
+            dt = time.perf_counter() - t0
+            if not runs_on or dt < min(runs_on):
+                best_report = run_report
+            runs_on.append(dt)
+            t0 = time.perf_counter()
+            await load(app_off)
+            runs_off.append(time.perf_counter() - t0)
+        results["on"] = TimingStats(runs_on)
+        results["off"] = TimingStats(runs_off)
+        results["report"] = best_report
+        results["mean_batch"] = (
+            metrics.total("serve.requests") / metrics.total("serve.batches")
+        )
+        await app_on.shutdown()
+        await app_off.shutdown()
+
+    asyncio.run(main())
+    timing: TimingStats = results["on"]
+    reference: TimingStats = results["off"]
+    best_report = results["report"]
+    return {
+        "name": "serve_throughput",
+        "params": {
+            "n_requests": n_requests, "concurrency": concurrency,
+            "tenants": list(tenants), "max_batch": batched_policy.max_batch,
+            "max_delay": batched_policy.max_delay, "seed": seed,
+        },
+        "input_digest": input_digest(
+            *[per_tenant[name] for name in tenants],
+            extra=f"serve_throughput seed={seed} n={n_requests}",
+        ),
+        "timing": timing.to_dict(),
+        "reference_timing": reference.to_dict(),
+        "speedup": reference.best_s / timing.best_s,
+        "counters": {
+            "rps": n_requests / timing.best_s,
+            "p50_ms": best_report.p50_s * 1e3,
+            "p99_ms": best_report.p99_s * 1e3,
+            "mean_batch": results["mean_batch"],
+            "parity_logits_bitwise": 1.0,
+            "parity_metrics_reconciled": 1.0,
+        },
+    }
+
+
 _BENCHMARKS = (
     bench_traffic_replay,
     bench_forward_e2e,
@@ -715,6 +885,7 @@ _BENCHMARKS = (
     bench_train_epoch,
     bench_telemetry_overhead,
     bench_sweep_scaling,
+    bench_serve_throughput,
 )
 
 #: Spawn-safe lookup for the ``--jobs`` fan-out.

@@ -1,0 +1,69 @@
+"""Long-running recognition service over compiled inference plans.
+
+The serving layer turns the repo's scenario deployments into a
+multi-tenant asyncio HTTP daemon (stdlib only): pre-trained tenants
+(:mod:`repro.serve.tenants`), a per-tenant micro-batching dispatcher
+(:mod:`repro.serve.dispatch`), the HTTP surface
+(:mod:`repro.serve.http`), a closed-loop load generator
+(:mod:`repro.serve.loadgen`), and a fully deterministic fake-clock
+test harness (:mod:`repro.serve.testing`).  All timing flows through
+the clock shim (:mod:`repro.serve.clock`) so batching behavior is
+testable without sockets or sleeps.
+
+Start one from Python::
+
+    from repro.serve import BatchPolicy, ServeApp, TenantConfig
+
+    app = ServeApp(BatchPolicy(max_batch=8, max_delay=0.002))
+    app.add_tenant(TenantConfig(name="fall", scenario="fall"))
+    asyncio.run(app.run(port=8080))
+
+or from the CLI: ``repro serve --tenants fall,hvac --port 8080``.
+"""
+
+from repro.serve.clock import LoopClock
+from repro.serve.dispatch import (
+    BATCH_BUCKETS,
+    BatchPolicy,
+    Dispatcher,
+    DispatcherClosed,
+    PlainFuture,
+    ServeResult,
+    TenantOverloaded,
+)
+from repro.serve.http import MAX_BODY_BYTES, ServeApp
+from repro.serve.loadgen import HttpClient, LoadReport, run_load
+from repro.serve.tenants import (
+    SCENARIOS,
+    SERVE_BATCH,
+    ScenarioSpec,
+    Tenant,
+    TenantConfig,
+    TenantPool,
+    UnknownTenant,
+    build_tenant,
+)
+
+__all__ = [
+    "BATCH_BUCKETS",
+    "BatchPolicy",
+    "Dispatcher",
+    "DispatcherClosed",
+    "HttpClient",
+    "LoadReport",
+    "LoopClock",
+    "MAX_BODY_BYTES",
+    "PlainFuture",
+    "SCENARIOS",
+    "SERVE_BATCH",
+    "ScenarioSpec",
+    "ServeApp",
+    "ServeResult",
+    "Tenant",
+    "TenantConfig",
+    "TenantOverloaded",
+    "TenantPool",
+    "UnknownTenant",
+    "build_tenant",
+    "run_load",
+]

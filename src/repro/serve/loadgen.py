@@ -1,0 +1,180 @@
+"""Closed-loop load generator + minimal HTTP client for the service.
+
+:class:`HttpClient` is a tiny keep-alive HTTP/1.1 client on asyncio
+streams — just enough to talk to :class:`~repro.serve.http.ServeApp`
+(and, being stdlib-only, the e2e tests and the quickstart example use
+it too).
+
+:func:`run_load` drives a closed loop: ``concurrency`` workers, each
+with its own connection, pull payloads from a shared cursor and issue
+the next request the moment the previous response lands.  Per-request
+latency is measured on the serving clock shim; the report carries
+requests/sec plus exact p50/p99 (computed from the full latency list,
+not histogram bounds).  The ``serve_throughput`` bench and the
+property tests both sit on top of this.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.clock import LoopClock
+
+
+class HttpClient:
+    """One keep-alive connection to the service."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader = None
+        self._writer = None
+
+    async def connect(self) -> "HttpClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One request/response round trip on the kept-alive
+        connection; returns ``(status, headers, body)``."""
+        if self._writer is None:
+            await self.connect()
+        payload = body or b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Content-Type: application/json\r\n"
+            "\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + payload)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.decode("latin-1").split(" ", 2)[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        data = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, headers, data
+
+    async def get_json(self, path: str):
+        status, __, data = await self.request("GET", path)
+        return status, json.loads(data.decode("utf-8"))
+
+    async def post_json(self, path: str, payload) -> Tuple[int, dict]:
+        status, __, data = await self.request(
+            "POST", path, json.dumps(payload).encode("utf-8")
+        )
+        return status, json.loads(data.decode("utf-8"))
+
+
+@dataclass
+class LoadReport:
+    """What one :func:`run_load` run produced."""
+
+    total: int
+    elapsed_s: float
+    latencies_s: List[float] = field(repr=False)
+    statuses: List[int] = field(repr=False)
+    #: decoded JSON response bodies, in payload order.
+    responses: List[dict] = field(repr=False)
+
+    @property
+    def rps(self) -> float:
+        return self.total / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact latency quantile (nearest-rank) in seconds."""
+        if not self.latencies_s:
+            return float("nan")
+        ordered = sorted(self.latencies_s)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    @property
+    def p50_s(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p99_s(self) -> float:
+        return self.percentile(0.99)
+
+
+async def run_load(
+    host: str,
+    port: int,
+    payloads: Sequence[dict],
+    concurrency: int = 4,
+    path: str = "/v1/recognize",
+    clock=None,
+) -> LoadReport:
+    """Drive ``payloads`` through the service, closed-loop.
+
+    Each of ``concurrency`` workers owns one keep-alive connection and
+    posts the next pending payload as soon as its previous response
+    arrives — so the offered concurrency (and with it the batching the
+    dispatcher can find) is exactly ``min(concurrency, remaining)``.
+    Responses land in ``report.responses`` at their payload's index.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    clock = clock if clock is not None else LoopClock()
+    total = len(payloads)
+    bodies = [json.dumps(p).encode("utf-8") for p in payloads]
+    cursor = iter(range(total))
+    latencies: List[float] = [0.0] * total
+    statuses: List[int] = [0] * total
+    responses: List[dict] = [{} for __ in range(total)]
+
+    async def worker() -> None:
+        client = HttpClient(host, port)
+        await client.connect()
+        try:
+            for i in cursor:
+                t0 = clock.now()
+                status, __, data = await client.request(
+                    "POST", path, bodies[i]
+                )
+                latencies[i] = clock.now() - t0
+                statuses[i] = status
+                responses[i] = json.loads(data.decode("utf-8"))
+        finally:
+            await client.close()
+
+    t_start = clock.now()
+    await asyncio.gather(*(worker() for __ in range(min(concurrency, total))))
+    elapsed = clock.now() - t_start
+    return LoadReport(
+        total=total,
+        elapsed_s=elapsed,
+        latencies_s=latencies,
+        statuses=statuses,
+        responses=responses,
+    )

@@ -125,3 +125,58 @@ class TestSweepCli:
         assert doc1["wall"]["jobs"] == 1
         assert doc4["wall"]["jobs"] == 4
         assert strip_wall_fields(doc1) == strip_wall_fields(doc4)
+
+
+class TestServeCli:
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["serve", "--tenants", "teleportation"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_empty_tenants_is_usage_error(self, capsys):
+        assert main(["serve", "--tenants", " , "]) == 2
+        assert "at least one tenant" in capsys.readouterr().err
+
+    def test_bad_policy_is_usage_error(self, capsys):
+        assert main(["serve", "--max-batch", "0"]) == 2
+        assert "max_batch" in capsys.readouterr().err
+        assert main(["serve", "--max-delay", "-1"]) == 2
+        assert "max_delay" in capsys.readouterr().err
+        assert main(["serve", "--max-pending", "0"]) == 2
+        assert "max_pending" in capsys.readouterr().err
+
+    def test_stop_after_serves_and_exits_cleanly(self):
+        """End to end through a real subprocess: ephemeral port, one
+        request, clean exit 0 after --stop-after."""
+        import os
+        import re
+        import subprocess
+        import sys
+        import urllib.request
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--tenants", "fall", "--epochs", "0", "--stop-after", "1"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env, cwd=str(repo),
+        )
+        try:
+            port = None
+            for line in proc.stdout:
+                found = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+                if found:
+                    port = int(found.group(1))
+                    break
+            assert port is not None, "serve never announced its port"
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=30
+            ) as response:
+                assert response.status == 200
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdout.close()

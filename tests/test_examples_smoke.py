@@ -23,6 +23,9 @@ FAST_EXAMPLES = [
     "athlete_body_sensing.py",
     "wildlife_and_slope_watch.py",
     "fault_injection_demo.py",
+    # Binds an ephemeral port (port=0) — safe to run anywhere without
+    # port-allocation flakes.
+    "serve_quickstart.py",
 ]
 
 

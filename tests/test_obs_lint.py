@@ -13,6 +13,11 @@ worker pools at all: spawn children re-import every module an argument
 pickle drags in, so a module-scope pool would fork-bomb the sweep
 engine, and scattered pool creation would bypass its determinism
 contract (seed substreams, canonical merge, daemonic-nesting guard).
+
+And ``repro.serve`` (outside its clock shim, ``serve/clock.py``) may
+not touch raw timing primitives — no ``time`` imports, no
+``asyncio.sleep`` with a literal delay — so the fake-clock test
+harness stays authoritative over every batching window.
 """
 
 import ast
@@ -226,6 +231,87 @@ def test_compiled_package_never_imports_sim():
         "repro.core.compiled must never import repro.sim (the compiled "
         f"hot path may not re-enter the event loop): {offenders}"
     )
+
+
+def serve_timing_usage(tree):
+    """Raw timing primitives in serving code, at any depth, as
+    ``(lineno, reason)`` pairs.
+
+    Everything in ``repro.serve`` must take time from the clock shim
+    (``clock.now()`` / ``clock.call_later``) so the fake-clock harness
+    stays authoritative: any ``time`` import (``time.time`` /
+    ``monotonic`` / ``perf_counter`` / ``sleep`` ride in on it) or an
+    ``asyncio.sleep`` with a literal delay is a hidden dependence on
+    real time that would make batching windows untestable without
+    real sleeps.
+    """
+    offenders = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(a.name == "time" or a.name.startswith("time.")
+                   for a in node.names):
+                offenders.append((node.lineno, "time import"))
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if mod == "time" or mod.startswith("time."):
+                offenders.append((node.lineno, "time import"))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute) and func.attr == "sleep"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "asyncio"
+                    and any(isinstance(a, ast.Constant)
+                            for a in node.args)):
+                offenders.append(
+                    (node.lineno, "asyncio.sleep with literal delay")
+                )
+    return offenders
+
+
+def test_serve_package_timing_goes_through_the_clock_shim():
+    """Only ``repro/serve/clock.py`` may touch timing primitives."""
+    serve = SRC / "serve"
+    files = sorted(serve.rglob("*.py"))
+    assert files, "repro.serve package is missing"
+    names = {p.name for p in files}
+    for expected in ("clock.py", "dispatch.py", "http.py", "tenants.py",
+                     "testing.py", "loadgen.py"):
+        assert expected in names
+    offenders = []
+    for path in files:
+        if path.name == "clock.py":
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, reason in serve_timing_usage(tree):
+            offenders.append(
+                f"{path.relative_to(SRC.parent)}:{lineno} ({reason})"
+            )
+    assert offenders == [], (
+        "repro.serve must take time from the clock shim "
+        f"(repro/serve/clock.py), not raw primitives: {offenders}"
+    )
+
+
+def test_serve_timing_lint_detects_violations():
+    for src in (
+        "import time\n",
+        "import time as t\n",
+        "from time import monotonic\n",
+        "from time import perf_counter as pc\n",
+        "def f():\n    import time\n    return time.time()\n",
+        "import asyncio\nasync def f():\n    await asyncio.sleep(0.01)\n",
+        "import asyncio\nasync def f():\n    await asyncio.sleep(0)\n",
+    ):
+        assert serve_timing_usage(ast.parse(src)), src
+    for src in (
+        "import asyncio\n",
+        "async def f(clock):\n    return clock.now()\n",
+        "def f(clock, cb):\n    return clock.call_later(0.01, cb)\n",
+        "import asyncio\nasync def f(d):\n    await asyncio.sleep(d)\n",
+        "import timeit\n",
+        "from timeit import timeit\n",
+    ):
+        assert not serve_timing_usage(ast.parse(src)), src
 
 
 def test_sim_lint_detects_violations():

@@ -130,6 +130,27 @@ class TestBenchCli:
         assert bench["speedup"] > 0
         assert bench["counters"]["parity_max_abs_diff"] <= 1e-9
 
+    def test_serve_throughput_certifies_parity_and_latency(
+        self, quick_report
+    ):
+        """The serving bench's contract: parity counters certify the
+        untimed byte-identity and metrics-reconciliation asserts ran
+        (they surface in the bench table's parity column), and the
+        headline numbers are present and sane."""
+        __, report = quick_report
+        bench = next(
+            b for b in report["benchmarks"]
+            if b["name"] == "serve_throughput"
+        )
+        counters = bench["counters"]
+        assert counters["parity_logits_bitwise"] == 1.0
+        assert counters["parity_metrics_reconciled"] == 1.0
+        assert counters["rps"] > 0
+        assert 0 < counters["p50_ms"] <= counters["p99_ms"]
+        assert 1.0 <= counters["mean_batch"] <= bench["params"]["max_batch"]
+        assert bench["reference_timing"]["best_s"] > 0
+        assert bench["params"]["concurrency"] >= bench["params"]["max_batch"]
+
     def test_suite_fans_out_with_jobs(self):
         """``run_suite(jobs=2)`` runs the pooled benchmarks in worker
         processes and maps the results back in canonical order; the
@@ -142,7 +163,7 @@ class TestBenchCli:
             "im2col_unfold", "forward_e2e", "forward_plan",
             "forward_masked_dead20", "local_backward", "train_epoch",
             "sim_event_throughput", "traffic_replay_batched",
-            "telemetry_overhead", "sweep_scaling",
+            "telemetry_overhead", "sweep_scaling", "serve_throughput",
         ]
         assert set(names) == set(serial_names)
 

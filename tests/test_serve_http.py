@@ -1,0 +1,362 @@
+"""End-to-end socket tests for the serving HTTP layer.
+
+A real :class:`~repro.serve.http.ServeApp` on an ephemeral port
+(``port=0`` — no fixed-port flakes), driven by the stdlib-only
+:class:`~repro.serve.loadgen.HttpClient`.  The core pins: logits
+served over HTTP are **byte-identical** to a direct
+``DistributedExecutor`` forward on the same scenario/seed (JSON's
+shortest-repr float round-trip is exact for float64), and the
+``/metrics`` endpoint reconciles exactly with the requests sent.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BatchPolicy,
+    ServeApp,
+    TenantConfig,
+    build_tenant,
+)
+from repro.serve.loadgen import HttpClient, run_load
+
+SEED = 7
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_app(max_batch=4, max_delay=0.002, max_pending=64):
+    app = ServeApp(BatchPolicy(
+        max_batch=max_batch, max_delay=max_delay, max_pending=max_pending,
+    ))
+    for name in ("fall", "hvac"):
+        app.add_tenant(TenantConfig(
+            name=name, scenario=name, seed=SEED, train_epochs=0,
+        ))
+    return app
+
+
+async def with_app(test, **app_kwargs):
+    """Start an app on an ephemeral port, run ``test(app, client)``,
+    always shut down."""
+    app = make_app(**app_kwargs)
+    await app.start(port=0)
+    client = HttpClient("127.0.0.1", app.port)
+    try:
+        return await test(app, client)
+    finally:
+        await client.close()
+        await app.shutdown()
+
+
+class TestRecognizeParity:
+    def test_served_logits_byte_identical_to_direct_forward(self):
+        """The tentpole pin: recognition over HTTP returns the exact
+        bytes a direct executor forward produces for the same
+        scenario/seed — batching, JSON, and sockets change nothing."""
+        rng = np.random.default_rng(0)
+        xs = rng.normal(size=(5, 1, 8, 8))
+
+        async def test(app, client):
+            responses = []
+            for i in range(xs.shape[0]):
+                status, body = await client.post_json(
+                    "/v1/recognize",
+                    {"tenant": "fall", "input": xs[i].tolist()},
+                )
+                assert status == 200
+                responses.append(body)
+            # An independently built tenant of the same config must
+            # produce the served bytes from scratch.
+            fresh = build_tenant(TenantConfig(
+                name="fall", scenario="fall", seed=SEED, train_epochs=0,
+            ))
+            direct = fresh.direct_forward(xs)
+            for i, body in enumerate(responses):
+                got = np.asarray(body["logits"], dtype=np.float64)
+                assert got.tobytes() == direct[i].tobytes()
+                assert body["pred"] == int(direct[i].argmax())
+                assert body["served_by"] == "plan"
+
+        run(with_app(test))
+
+    def test_parity_holds_under_concurrent_batched_load(self):
+        rng = np.random.default_rng(1)
+        xs = rng.normal(size=(12, 1, 10, 10))
+        payloads = [
+            {"tenant": "hvac", "input": xs[i].tolist()}
+            for i in range(xs.shape[0])
+        ]
+
+        async def test(app, client):
+            report = await run_load(
+                "127.0.0.1", app.port, payloads, concurrency=4
+            )
+            assert set(report.statuses) == {200}
+            direct = app.pool.require("hvac").direct_forward(xs)
+            batch_sizes = set()
+            for i, body in enumerate(report.responses):
+                got = np.asarray(body["logits"], dtype=np.float64)
+                assert got.tobytes() == direct[i].tobytes()
+                batch_sizes.add(body["batch_size"])
+            return batch_sizes
+
+        batch_sizes = run(with_app(test))
+        assert batch_sizes - {1, 2, 3, 4} == set()
+
+    def test_single_channel_input_accepts_2d_payload(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 8, 8))
+
+        async def test(app, client):
+            status, with_channel = await client.post_json(
+                "/v1/recognize", {"tenant": "fall", "input": x.tolist()}
+            )
+            status2, without = await client.post_json(
+                "/v1/recognize", {"tenant": "fall", "input": x[0].tolist()}
+            )
+            assert status == status2 == 200
+            assert with_channel["logits"] == without["logits"]
+
+        run(with_app(test))
+
+
+class TestMetricsReconciliation:
+    def test_metrics_totals_match_requests_sent(self):
+        """``serve.requests`` == requests sent == ``serve.batch_size``
+        histogram mass, straight from the JSON metrics endpoint."""
+        rng = np.random.default_rng(3)
+        n = 9
+        payloads = [
+            {"tenant": ("fall", "hvac")[i % 2],
+             "input": rng.normal(
+                 size=(1, 8, 8) if i % 2 == 0 else (1, 10, 10)
+             ).tolist()}
+            for i in range(n)
+        ]
+
+        async def test(app, client):
+            report = await run_load(
+                "127.0.0.1", app.port, payloads, concurrency=3
+            )
+            assert set(report.statuses) == {200}
+            status, snapshot = await client.get_json("/metrics?format=json")
+            assert status == 200
+            requests_total = sum(
+                payload for name, __, kind, payload in snapshot
+                if name == "serve.requests"
+            )
+            hist_mass = sum(
+                payload["sum"] for name, __, kind, payload in snapshot
+                if name == "serve.batch_size"
+            )
+            hist_count_mass = sum(
+                batches * 1 for name, __, kind, payload in snapshot
+                if name == "serve.batches" for batches in [payload]
+            )
+            assert requests_total == float(n)
+            assert hist_mass == float(n)
+            assert hist_count_mass >= 1
+            # The text exposition carries the same totals.
+            status, __, text = await client.request("GET", "/metrics")
+            assert status == 200
+            lines = text.decode().splitlines()
+            served = sum(
+                float(line.rsplit(" ", 1)[1]) for line in lines
+                if line.startswith("serve_requests{")
+            )
+            assert served == float(n)
+
+        run(with_app(test))
+
+    def test_healthz_reports_tenants_and_served_counts(self):
+        async def test(app, client):
+            status, health = await client.get_json("/healthz")
+            assert status == 200
+            assert health["status"] == "ok"
+            assert sorted(health["tenants"]) == ["fall", "hvac"]
+            assert health["tenants"]["fall"]["fault"] is None
+            assert health["policy"]["max_batch"] == 4
+            x = np.zeros((1, 8, 8))
+            await client.post_json(
+                "/v1/recognize", {"tenant": "fall", "input": x.tolist()}
+            )
+            __, health = await client.get_json("/healthz")
+            assert health["tenants"]["fall"]["served"] == 1
+            assert health["requests_handled"] >= 1
+
+        run(with_app(test))
+
+    def test_traces_expose_serve_batch_spans(self):
+        async def test(app, client):
+            x = np.zeros((1, 8, 8))
+            await client.post_json(
+                "/v1/recognize", {"tenant": "fall", "input": x.tolist()}
+            )
+            status, __, body = await client.request("GET", "/traces")
+            assert status == 200
+            events = [json.loads(line)
+                      for line in body.decode().splitlines()]
+            names = {event["name"] for event in events}
+            assert "serve.batch" in names
+            # The executor's own spans nest under the serving span.
+            assert "exec.plan" in names or "exec.forward" in names
+
+        run(with_app(test))
+
+
+class TestErrorPaths:
+    def test_unknown_tenant_404(self):
+        async def test(app, client):
+            status, body = await client.post_json(
+                "/v1/recognize",
+                {"tenant": "nope", "input": np.zeros((1, 8, 8)).tolist()},
+            )
+            assert status == 404
+            assert body["error"] == "unknown-tenant"
+
+        run(with_app(test))
+
+    def test_unknown_route_404_and_wrong_method_405(self):
+        async def test(app, client):
+            assert (await client.request("GET", "/zzz"))[0] == 404
+            assert (await client.request("GET", "/v1/recognize"))[0] == 405
+            assert (await client.request("POST", "/metrics"))[0] == 405
+
+        run(with_app(test))
+
+    def test_malformed_json_and_shape_400(self):
+        async def test(app, client):
+            status, __, __ = await client.request(
+                "POST", "/v1/recognize", b"{not json"
+            )
+            assert status == 400
+            status, body = await client.post_json(
+                "/v1/recognize", {"tenant": "fall", "input": [[1, 2]]}
+            )
+            assert status == 400
+            assert body["error"] == "input-shape"
+            status, body = await client.post_json(
+                "/v1/recognize", {"input": np.zeros((1, 8, 8)).tolist()}
+            )
+            assert status == 400
+            assert body["error"] == "missing-tenant"
+            status, body = await client.post_json(
+                "/v1/recognize", {"tenant": "fall"}
+            )
+            assert status == 400
+            assert body["error"] == "missing-input"
+
+        run(with_app(test))
+
+    def test_draining_app_responds_503(self):
+        async def test(app, client):
+            app.dispatcher.drain()
+            status, body = await client.post_json(
+                "/v1/recognize",
+                {"tenant": "fall", "input": np.zeros((1, 8, 8)).tolist()},
+            )
+            assert status == 503
+            assert body["error"] == "overloaded"
+            status, health = await client.get_json("/healthz")
+            assert health["status"] == "draining"
+
+        run(with_app(test))
+
+    def test_connection_close_honored(self):
+        async def test(app, client):
+            status, headers, __ = await client.request("GET", "/healthz")
+            assert headers["connection"] == "keep-alive"
+            # Manual request with Connection: close.
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", app.port
+            )
+            writer.write(
+                b"GET /healthz HTTP/1.1\r\nHost: x\r\n"
+                b"Connection: close\r\nContent-Length: 0\r\n\r\n"
+            )
+            await writer.drain()
+            data = await reader.read()  # until server closes
+            writer.close()
+            assert b"200 OK" in data
+            assert b"Connection: close" in data
+
+        run(with_app(test))
+
+
+class TestHotSwapEndpoint:
+    def test_live_swap_changes_served_bytes(self):
+        """POST /v1/tenants installs a new tenant under the name; the
+        served logits flip to the new seed's exact bytes."""
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(1, 8, 8))
+
+        async def test(app, client):
+            status, before = await client.post_json(
+                "/v1/recognize", {"tenant": "fall", "input": x.tolist()}
+            )
+            assert status == 200
+            status, swapped = await client.post_json(
+                "/v1/tenants",
+                {"name": "fall", "scenario": "fall", "seed": 99},
+            )
+            assert status == 201
+            assert swapped["seed"] == 99
+            status, after = await client.post_json(
+                "/v1/recognize", {"tenant": "fall", "input": x.tolist()}
+            )
+            assert status == 200
+            fresh = build_tenant(TenantConfig(
+                name="fall", scenario="fall", seed=99, train_epochs=0,
+            ))
+            expected = fresh.direct_forward(x[np.newaxis])[0]
+            got = np.asarray(after["logits"], dtype=np.float64)
+            assert got.tobytes() == expected.tobytes()
+            assert before["logits"] != after["logits"]
+
+        run(with_app(test))
+
+    def test_swap_rejects_unknown_scenario(self):
+        async def test(app, client):
+            status, body = await client.post_json(
+                "/v1/tenants", {"name": "x", "scenario": "nope"}
+            )
+            assert status == 400
+            assert body["error"] == "bad-tenant-config"
+            status, listing = await client.get_json("/v1/tenants")
+            assert status == 200
+            assert sorted(listing) == ["fall", "hvac"]
+
+        run(with_app(test))
+
+
+class TestBackpressureOverHttp:
+    def test_full_lane_yields_503(self):
+        """With a tiny lane bound and a long window, concurrent
+        requests beyond max_pending are rejected as 503 — and the
+        accepted ones still complete."""
+        rng = np.random.default_rng(5)
+        payloads = [
+            {"tenant": "fall", "input": rng.normal(size=(1, 8, 8)).tolist()}
+            for __ in range(6)
+        ]
+
+        async def test(app, client):
+            report = await run_load(
+                "127.0.0.1", app.port, payloads, concurrency=6
+            )
+            return report
+
+        report = run(with_app(
+            test, max_batch=64, max_delay=0.05, max_pending=2,
+        ))
+        assert 503 in report.statuses
+        assert 200 in report.statuses
+        ok = [body for status, body in zip(report.statuses, report.responses)
+              if status == 200]
+        assert all(len(body["logits"]) == 2 for body in ok)
