@@ -13,6 +13,8 @@ Usage::
     python -m repro.cli trace quickstart --out trace.jsonl
     python -m repro.cli stats trace.jsonl
     python -m repro.cli serve --tenants fall,hvac --port 8080
+    python -m repro.cli monitor demo --loss 0.3 --rules slo.json
+    python -m repro.cli monitor train --epochs 8
 
 ``run`` executes the named example script from the installed
 repository's ``examples/`` directory (development layout) so users can
@@ -34,13 +36,19 @@ vectorized or reference backward — and can record the ``train.step`` /
 ``exec.backward`` telemetry to a trace file.  ``serve`` hosts the
 multi-tenant recognition HTTP service (:mod:`repro.serve`) until
 interrupted (Ctrl-C drains in-flight batches before exiting) or until
-``--stop-after N`` requests have been handled.
+``--stop-after N`` requests have been handled.  ``monitor`` runs a
+workload (the fault-injection demo, the training loop, or any example)
+under a flight recorder + SLO watchdog (:mod:`repro.obs.timeline` /
+:mod:`repro.obs.watch`), prints a windowed health table, optionally
+writes the timeline and fired-alert JSONL, and exits non-zero when a
+critical alert fired.
 
 Exit codes: 0 success (including a ``serve`` shutdown via Ctrl-C or
 ``--stop-after``); 2 usage error (unknown example/task/scenario, bad
 ``--grid``/``--seeds`` spec, invalid ``serve`` batching knobs,
-unreadable or schema-invalid ``bench --against`` baseline); 3
-``bench`` performance regression against the baseline.
+unreadable or schema-invalid ``bench --against`` baseline, invalid
+``monitor --rules`` file); 3 ``bench`` performance regression against
+the baseline; 4 ``monitor`` saw at least one critical alert fire.
 """
 
 from __future__ import annotations
@@ -537,6 +545,131 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _default_monitor_rules(target: str):
+    """Built-in rule sets when ``monitor`` runs without ``--rules``."""
+    from repro.obs.watch import Rule
+
+    if target == "train":
+        return [
+            Rule(name="loss-plateau", series="train.epoch_loss",
+                 kind="trend", op=">=", value=0.0, windows=3,
+                 severity="warning"),
+            Rule(name="loss-rising", series="train.epoch_loss",
+                 kind="trend", op=">", value=0.0, windows=2,
+                 severity="critical"),
+        ]
+    rules = [
+        Rule(name="packet-drops", series="net.dropped_causes",
+             kind="rate", op=">", value=0.0, severity="warning"),
+        Rule(name="fault-transitions", series="faults.transitions",
+             kind="threshold", op=">", value=0.0, severity="warning"),
+        Rule(name="retry-storm", series="resilient.retries",
+             kind="rate", op=">", value=500.0, severity="critical"),
+    ]
+    if target == "demo":
+        rules.append(Rule(
+            name="delivery-stalled", series="net.delivered",
+            kind="absence", windows=3, severity="critical",
+        ))
+    return rules
+
+
+def cmd_monitor(args) -> int:
+    """Run a workload under the flight recorder + SLO watchdog."""
+    import numpy as np
+
+    from repro import obs
+
+    target = args.target
+    if target not in ("demo", "train") and target not in EXAMPLES:
+        print(f"unknown monitor target {target!r}; use 'demo', 'train', "
+              f"or an example name (see 'list')", file=sys.stderr)
+        return 2
+    if args.rules:
+        try:
+            rules = obs.load_rules(args.rules)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load rules from {args.rules}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        rules = _default_monitor_rules(target)
+
+    with obs.session() as tel:
+        recorder = obs.FlightRecorder(
+            tel, interval=args.interval, window=args.window
+        )
+        watchdog = obs.Watchdog(rules, telemetry=tel)
+        recorder.attach(watchdog)
+        if target == "demo":
+            from repro.faults import FaultPlan, demo_scenario, inject
+
+            print(f"building demo scenario (seed {args.seed}) ...")
+            scenario, (x, y) = demo_scenario(seed=args.seed)
+            plan = FaultPlan(seed=args.seed, loss_rate=args.loss)
+            node_ids = sorted(scenario.topology.nodes)
+            rng = np.random.default_rng(args.seed)
+            for node in rng.choice(
+                node_ids, size=min(args.crashes, len(node_ids)),
+                replace=False,
+            ):
+                plan.crash(0.0, int(node))
+            run = inject(scenario, plan, recorder=recorder)
+            acc = run.accuracy(x, y, chunks=args.chunks)
+            recorder.sample()  # capture the end state
+            print(f"degraded accuracy {acc:.3f} over {args.chunks} "
+                  f"inference(s), virtual time {run.sim.now:.3f}s")
+        elif target == "train":
+            from repro.core import (
+                MicroDeepTrainer,
+                UnitGraph,
+                grid_correspondence_assignment,
+            )
+            from repro.faults.scenario import toy_field_task
+            from repro.nn import Conv2D, Dense, Flatten, ReLU, SGD, Sequential
+            from repro.wsn import GridTopology
+
+            print(f"training demo CNN for {args.epochs} epoch(s) "
+                  f"(seed {args.seed}) ...")
+            rng = np.random.default_rng(args.seed)
+            x, y = toy_field_task(args.samples, (8, 8), rng)
+            model = Sequential([Conv2D(2, 3), ReLU(), Flatten(), Dense(2)])
+            model.build((1, 8, 8), np.random.default_rng(args.seed))
+            graph = UnitGraph(model)
+            placement = grid_correspondence_assignment(
+                graph, GridTopology(3, 3)
+            )
+            trainer = MicroDeepTrainer(
+                graph, placement, SGD(lr=0.05), update_mode="local"
+            )
+            trainer.fit(
+                x, y, epochs=args.epochs, batch_size=16,
+                rng=np.random.default_rng(args.seed + 1),
+                recorder=recorder,
+            )
+        else:
+            module, code = _load_example(target)
+            if module is None:
+                return code
+            module.main()
+            recorder.sample()  # one end-of-run snapshot of the registry
+
+    print()
+    print(obs.health_table(recorder, watchdog, last=args.window))
+    if args.out:
+        Path(args.out).write_text(recorder.to_jsonl() + "\n")
+        print(f"\ntimeline ({len(recorder)} samples, digest "
+              f"{recorder.digest()[:12]}…) written to {args.out}")
+    if args.alerts:
+        Path(args.alerts).write_text(watchdog.to_jsonl() + "\n")
+        print(f"alerts ({len(watchdog.alerts)}) written to {args.alerts}")
+    if watchdog.critical_count():
+        print(f"\n{watchdog.critical_count()} critical alert(s) fired",
+              file=sys.stderr)
+        return 4
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """Argument parsing and dispatch; returns the exit code."""
     parser = argparse.ArgumentParser(
@@ -683,6 +816,45 @@ def main(argv: Optional[list] = None) -> int:
                               metavar="N",
                               help="exit cleanly after N handled requests "
                                    "(smoke tests)")
+    monitor_parser = sub.add_parser(
+        "monitor", help="run a workload under the flight recorder + "
+                        "SLO watchdog; exit 4 on critical alerts"
+    )
+    monitor_parser.add_argument("target", nargs="?", default="demo",
+                                help="'demo' (fault-injected inference), "
+                                     "'train', or an example name "
+                                     "(default demo)")
+    monitor_parser.add_argument("--rules", default=None, metavar="JSON",
+                                help="SLO rule file; built-in defaults "
+                                     "per target when omitted")
+    monitor_parser.add_argument("--seed", type=int, default=0,
+                                help="workload seed (default 0)")
+    monitor_parser.add_argument("--interval", type=float, default=0.02,
+                                metavar="SECONDS",
+                                help="flight-recorder cadence on the "
+                                     "workload clock (default 0.02)")
+    monitor_parser.add_argument("--window", type=int, default=8,
+                                metavar="N",
+                                help="rolling-window width in samples "
+                                     "(default 8)")
+    monitor_parser.add_argument("--loss", type=float, default=0.2,
+                                help="demo: per-hop packet loss rate "
+                                     "(default 0.2)")
+    monitor_parser.add_argument("--crashes", type=int, default=2,
+                                help="demo: nodes crashed at t=0 "
+                                     "(default 2)")
+    monitor_parser.add_argument("--chunks", type=int, default=6,
+                                help="demo: independent inference calls "
+                                     "(default 6)")
+    monitor_parser.add_argument("--epochs", type=int, default=6,
+                                help="train: training epochs (default 6)")
+    monitor_parser.add_argument("--samples", type=int, default=120,
+                                help="train: toy-task samples "
+                                     "(default 120)")
+    monitor_parser.add_argument("--out", default=None, metavar="PATH",
+                                help="write the timeline JSONL to PATH")
+    monitor_parser.add_argument("--alerts", default=None, metavar="PATH",
+                                help="write the fired-alert JSONL to PATH")
     stats_parser = sub.add_parser(
         "stats", help="per-node cost tables from a written trace"
     )
@@ -707,6 +879,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_trace(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "monitor":
+        return cmd_monitor(args)
     if args.command == "stats":
         return cmd_stats(args)
     return cmd_run(args.name)

@@ -350,9 +350,16 @@ class MicroDeepTrainer:
         x_val: Optional[np.ndarray] = None,
         y_val: Optional[np.ndarray] = None,
         patience: Optional[int] = None,
+        recorder=None,
     ) -> TrainingHistory:
         """Mini-batch training; mirrors :class:`repro.nn.Trainer.fit`
         but with the distributed backward pass.
+
+        ``recorder`` (an enabled :class:`repro.obs.FlightRecorder`) is
+        sampled once per epoch, after the epoch metrics land — with
+        the recorder's default index clock each timeline tick is one
+        epoch, which is what the watchdog's ``train.loss`` drift
+        rules evaluate against.
 
         Raises:
             ValueError: if ``x`` is empty — an empty dataset would
@@ -405,8 +412,12 @@ class MicroDeepTrainer:
                     stale = 0
                 else:
                     stale += 1
+                if recorder is not None:
+                    recorder.sample()
                 if patience is not None and stale >= patience:
                     break
+            elif recorder is not None:
+                recorder.sample()
         if best_weights is not None:
             self.model.set_weights(best_weights)
         return history

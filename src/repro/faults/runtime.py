@@ -176,12 +176,16 @@ class ResilientExecutor:
         tracker: NodeStateTracker,
         trace: FaultTrace,
         policy: Optional[RetryPolicy] = None,
+        recorder=None,
     ) -> None:
         self.executor = executor
         self.sim = sim
         self.tracker = tracker
         self.trace = trace
         self.policy = policy if policy is not None else RetryPolicy()
+        #: optional flight recorder sampled (pull-style, on the sim
+        #: clock) after each inference; ``None`` costs nothing.
+        self.recorder = recorder
         #: layer index (-1 = model input) -> last computed activations.
         self._stale: Dict[int, np.ndarray] = {}
         self.inferences = 0
@@ -306,11 +310,17 @@ class ResilientExecutor:
         self.inferences += 1
         tel = self._telemetry
         if not tel.enabled:
-            return self._infer_inner(x)
-        with tel.tracer.span(
-            "resilient.infer", inference=self.inferences, batch=int(x.shape[0])
-        ) as span:
-            logits = self._infer_inner(x, span)
+            logits = self._infer_inner(x)
+        else:
+            with tel.tracer.span(
+                "resilient.infer", inference=self.inferences,
+                batch=int(x.shape[0]),
+            ) as span:
+                logits = self._infer_inner(x, span)
+        if self.recorder is not None:
+            # Virtual time advanced through the pass; let the flight
+            # recorder tick if its cadence came due.
+            self.recorder.sample_if_due()
         return logits
 
     def _infer_inner(self, x: np.ndarray, span=None) -> np.ndarray:

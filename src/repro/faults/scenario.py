@@ -57,6 +57,7 @@ class FaultInjection:
     tracker: NodeStateTracker
     network: Network
     executor: ResilientExecutor
+    recorder: object = None  # optional repro.obs FlightRecorder
 
     def infer(self, x: np.ndarray) -> np.ndarray:
         return self.executor.infer(x)
@@ -69,6 +70,7 @@ def inject(
     scenario: FaultScenario,
     plan: FaultPlan,
     policy: Optional[RetryPolicy] = None,
+    recorder=None,
 ) -> FaultInjection:
     """Arm a fault plan against a scenario.
 
@@ -76,6 +78,11 @@ def inject(
     topology is reset to all-alive first, so injections are
     independent), schedules the plan's events, fires any due at t=0,
     and returns the handle.
+
+    ``recorder`` (an enabled :class:`repro.obs.FlightRecorder`) is
+    bound to the fresh simulator's clock and sampled pull-style after
+    every inference, so the timeline ticks as virtual time advances
+    through the run.
     """
     for node in scenario.topology:
         node.alive = True
@@ -96,7 +103,11 @@ def inject(
     base = DistributedExecutor(
         scenario.model, scenario.graph, scenario.placement, network
     )
-    executor = ResilientExecutor(base, sim, tracker, trace, policy)
+    if recorder is not None and recorder.enabled:
+        recorder.bind_clock(clock)
+    executor = ResilientExecutor(
+        base, sim, tracker, trace, policy, recorder=recorder
+    )
     schedule_plan(plan, sim, tracker)
     sim.run(until=sim.now)  # fire events due at t=0
     return FaultInjection(
@@ -107,6 +118,7 @@ def inject(
         tracker=tracker,
         network=network,
         executor=executor,
+        recorder=recorder,
     )
 
 

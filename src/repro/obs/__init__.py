@@ -9,7 +9,13 @@ constructors resolve :func:`current` when they run):
 - :mod:`repro.obs.metrics` — labeled counters / gauges / fixed-bucket
   histograms with pull collectors and a zero-overhead null backend;
 - :mod:`repro.obs.report` — trace export/load plus the per-node
-  communication-cost tables reproducing the paper's Fig. 10 shape.
+  communication-cost tables reproducing the paper's Fig. 10 shape;
+- :mod:`repro.obs.timeline` — the flight recorder: a fixed-capacity
+  ring-buffer time series of registry deltas and rolling-window
+  aggregates, sampled on a pluggable deterministic clock;
+- :mod:`repro.obs.watch` — the SLO watchdog: declarative
+  threshold/rate/quantile/absence/trend rules evaluated at each
+  flight-recorder tick, firing deterministic JSONL alerts.
 
 Typical use::
 
@@ -55,21 +61,50 @@ from repro.obs.runtime import (
     session,
     uninstall,
 )
+from repro.obs.timeline import (
+    DEFAULT_CAPACITY,
+    DEFAULT_WINDOW,
+    NULL_RECORDER,
+    FlightRecorder,
+    NullFlightRecorder,
+    TimelineSample,
+    flight_recorder,
+    quantile_from_counts,
+    schedule_sampling,
+    series_key,
+)
 from repro.obs.trace import NullTracer, SpanRecord, Tracer, merge_digests
+from repro.obs.watch import (
+    Alert,
+    Rule,
+    Watchdog,
+    health_table,
+    load_rules,
+    parse_rules,
+)
 
 __all__ = [
+    "Alert",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_WINDOW",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL",
+    "NULL_RECORDER",
+    "NullFlightRecorder",
     "NullMetrics",
     "NullTelemetry",
     "NullTracer",
+    "Rule",
     "SpanRecord",
     "Telemetry",
+    "TimelineSample",
     "Tracer",
+    "Watchdog",
     "cost_comparison_markdown",
     "cost_table_markdown",
     "cost_totals",
@@ -77,12 +112,19 @@ __all__ = [
     "current",
     "export_events",
     "export_jsonl",
+    "flight_recorder",
+    "health_table",
     "install",
+    "load_rules",
     "load_trace_file",
     "load_trace_jsonl",
     "merge_digests",
     "merge_snapshots",
+    "parse_rules",
     "per_node_costs",
+    "quantile_from_counts",
+    "schedule_sampling",
+    "series_key",
     "session",
     "span_summary",
     "to_chrome_json",

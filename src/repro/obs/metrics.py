@@ -80,6 +80,12 @@ class Histogram:
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
             raise ValueError("need at least one bucket bound")
+        if any(b != b for b in bounds):
+            raise ValueError(f"bucket bounds must not be NaN: {bounds}")
+        if any(b == float("inf") for b in bounds[:-1]):
+            raise ValueError(
+                f"only the terminal bucket bound may be +inf: {bounds}"
+            )
         if any(b >= c for b, c in zip(bounds, bounds[1:])):
             raise ValueError(f"bucket bounds must increase: {bounds}")
         self.buckets = bounds
@@ -95,7 +101,14 @@ class Histogram:
 
     def quantile_bound(self, q: float) -> float:
         """Upper bucket bound covering the ``q``-quantile (``inf`` when
-        it falls in the overflow bucket)."""
+        it falls in the overflow bucket; ``nan`` when empty).
+
+        ``q=0`` returns the bound of the first *non-empty* bucket (the
+        minimum's bucket), not blindly ``buckets[0]``; ``q=1`` returns
+        the bound covering the maximum observation.  A terminal +inf
+        bucket bound is honoured: mass there reports ``inf`` just like
+        the implicit overflow slot.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
@@ -104,7 +117,7 @@ class Histogram:
         seen = 0
         for bound, count in zip(self.buckets, self.counts):
             seen += count
-            if seen >= target:
+            if seen >= target and seen > 0:
                 return bound
         return float("inf")
 
@@ -239,14 +252,20 @@ class MetricsRegistry:
             elif kind == "gauge":
                 self.gauge(name, **labels).set(float(payload))
             elif kind == "histogram":
-                hist = self.histogram(
-                    name, buckets=tuple(payload["buckets"]), **labels
-                )
-                if hist.buckets != tuple(
-                    float(b) for b in payload["buckets"]
-                ) or len(hist.counts) != len(payload["counts"]):
+                incoming = tuple(float(b) for b in payload["buckets"])
+                if len(payload["counts"]) != len(incoming) + 1:
                     raise ValueError(
-                        f"histogram {name!r} bucket mismatch on merge"
+                        f"histogram {name!r} snapshot is malformed: "
+                        f"{len(payload['counts'])} counts for "
+                        f"{len(incoming)} bucket bounds "
+                        f"(expected {len(incoming) + 1})"
+                    )
+                hist = self.histogram(name, buckets=incoming, **labels)
+                if hist.buckets != incoming:
+                    raise ValueError(
+                        f"histogram {name!r} bucket boundaries mismatch "
+                        f"on merge: registry has {hist.buckets}, "
+                        f"snapshot has {incoming}"
                     )
                 for i, count in enumerate(payload["counts"]):
                     hist.counts[i] += int(count)

@@ -31,7 +31,13 @@ from repro.serve.dispatch import (
     ServeResult,
     TenantOverloaded,
 )
-from repro.serve.http import MAX_BODY_BYTES, ServeApp
+from repro.serve.dashboard import DASHBOARD_HTML
+from repro.serve.http import (
+    DEFAULT_LATENCY_BUDGET_S,
+    MAX_BODY_BYTES,
+    ServeApp,
+    default_serve_rules,
+)
 from repro.serve.loadgen import HttpClient, LoadReport, run_load
 from repro.serve.tenants import (
     SCENARIOS,
@@ -47,6 +53,8 @@ from repro.serve.tenants import (
 __all__ = [
     "BATCH_BUCKETS",
     "BatchPolicy",
+    "DASHBOARD_HTML",
+    "DEFAULT_LATENCY_BUDGET_S",
     "Dispatcher",
     "DispatcherClosed",
     "HttpClient",
@@ -65,5 +73,6 @@ __all__ = [
     "TenantPool",
     "UnknownTenant",
     "build_tenant",
+    "default_serve_rules",
     "run_load",
 ]

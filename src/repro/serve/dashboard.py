@@ -1,0 +1,153 @@
+"""The self-contained ``/dashboard`` page.
+
+One HTML document, zero external assets: inline CSS + a small polling
+script that fetches ``/timeline?format=json`` and ``/healthz`` on an
+interval and re-renders a health header, the active/fired alert list,
+and a per-series table (value, tick delta, rolling rate, and windowed
+p50/p99 for histograms) with unicode sparklines built from the
+retained ring-buffer samples.  Everything renders client-side from the
+same canonical timeline documents the tests assert on — the page adds
+no server state beyond the GET handlers it polls.
+"""
+
+from __future__ import annotations
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro.serve dashboard</title>
+<style>
+  body { font: 13px/1.45 ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 1.5rem; background: #101418; color: #d8dee4; }
+  h1 { font-size: 16px; margin: 0 0 .25rem; }
+  .sub { color: #8b98a5; margin-bottom: 1rem; }
+  .cards { display: flex; gap: .75rem; flex-wrap: wrap; margin-bottom: 1rem; }
+  .card { background: #161c22; border: 1px solid #232b33; border-radius: 6px;
+          padding: .5rem .9rem; min-width: 7rem; }
+  .card b { display: block; font-size: 18px; }
+  .card span { color: #8b98a5; font-size: 11px; }
+  table { border-collapse: collapse; width: 100%; margin-bottom: 1.25rem; }
+  th, td { text-align: left; padding: .25rem .6rem;
+           border-bottom: 1px solid #232b33; white-space: nowrap; }
+  th { color: #8b98a5; font-weight: normal; }
+  td.num { text-align: right; font-variant-numeric: tabular-nums; }
+  .spark { color: #58a6ff; letter-spacing: -1px; }
+  .ok { color: #3fb950; } .warning { color: #d29922; }
+  .critical { color: #f85149; } .muted { color: #8b98a5; }
+  #alerts li { margin: .15rem 0; list-style: none; }
+  #alerts { padding-left: 0; }
+</style>
+</head>
+<body>
+<h1>repro.serve flight recorder</h1>
+<div class="sub">polling <code>/timeline?format=json</code> every
+<span id="poll-ms">?</span> ms — <span id="updated" class="muted">never
+updated</span></div>
+<div class="cards">
+  <div class="card"><b id="c-status">–</b><span>status</span></div>
+  <div class="card"><b id="c-samples">–</b><span>samples</span></div>
+  <div class="card"><b id="c-series">–</b><span>series</span></div>
+  <div class="card"><b id="c-alerts">–</b><span>alerts fired</span></div>
+  <div class="card"><b id="c-critical">–</b><span>critical</span></div>
+</div>
+<h1>Alerts</h1>
+<ul id="alerts"><li class="muted">none</li></ul>
+<h1>Series (latest tick)</h1>
+<table>
+  <thead><tr><th>series</th><th>kind</th><th>value</th><th>&Delta;</th>
+  <th>rate</th><th>p50</th><th>p99</th><th>trend</th></tr></thead>
+  <tbody id="series-body"><tr><td class="muted" colspan="8">waiting for
+  first sample…</td></tr></tbody>
+</table>
+<script>
+"use strict";
+const POLL_MS = 2000;
+const BARS = "\\u2581\\u2582\\u2583\\u2584\\u2585\\u2586\\u2587\\u2588";
+document.getElementById("poll-ms").textContent = POLL_MS;
+
+function fmt(v) {
+  if (v === null || v === undefined) return "–";
+  if (typeof v === "string") return v;           // "nan" / "inf"
+  if (Math.abs(v) >= 1000 || Number.isInteger(v)) return String(v);
+  return v.toPrecision(4);
+}
+
+function spark(values) {
+  if (!values.length) return "";
+  const lo = Math.min(...values), hi = Math.max(...values);
+  const span = hi - lo || 1;
+  return values.map(v =>
+    BARS[Math.min(7, Math.floor((v - lo) / span * 8))]).join("");
+}
+
+function render(doc, health) {
+  const samples = doc.samples || [];
+  const latest = samples[samples.length - 1];
+  document.getElementById("c-status").textContent =
+      health ? health.status : "?";
+  document.getElementById("c-samples").textContent = doc.n_samples;
+  document.getElementById("c-series").textContent =
+      latest ? Object.keys(latest.series).length : 0;
+  document.getElementById("c-alerts").textContent =
+      (doc.alerts || []).length;
+  document.getElementById("c-critical").textContent =
+      (doc.alerts || []).filter(a => a.severity === "critical").length;
+  const alerts = document.getElementById("alerts");
+  alerts.innerHTML = "";
+  if (!(doc.alerts || []).length) {
+    alerts.innerHTML = '<li class="muted">none</li>';
+  } else {
+    for (const a of doc.alerts.slice().reverse()) {
+      const li = document.createElement("li");
+      li.className = a.severity;
+      li.textContent = "t=" + a.t + "  [" + a.severity + "]  " + a.rule +
+          ": " + a.series + " " + a.op + " " + a.value +
+          " (observed " + fmt(a.observed) + ")";
+      alerts.appendChild(li);
+    }
+  }
+  if (!latest) return;
+  const body = document.getElementById("series-body");
+  body.innerHTML = "";
+  for (const key of Object.keys(latest.series).sort()) {
+    const p = latest.series[key];
+    const history = samples.map(s =>
+        s.series[key] ? s.series[key].v : 0);
+    const tr = document.createElement("tr");
+    const cells = [key, p.k, fmt(p.v), fmt(p.d), fmt(p.r),
+                   p.k === "histogram" ? fmt(p.p50) : "–",
+                   p.k === "histogram" ? fmt(p.p99) : "–"];
+    for (let i = 0; i < cells.length; i++) {
+      const td = document.createElement("td");
+      if (i >= 2) td.className = "num";
+      td.textContent = cells[i];
+      tr.appendChild(td);
+    }
+    const td = document.createElement("td");
+    td.className = "spark";
+    td.textContent = spark(history);
+    tr.appendChild(td);
+    body.appendChild(tr);
+  }
+}
+
+async function tick() {
+  try {
+    const [t, h] = await Promise.all([
+      fetch("/timeline?format=json").then(r => r.json()),
+      fetch("/healthz").then(r => r.json()),
+    ]);
+    render(t, h);
+    document.getElementById("updated").textContent =
+        "updated " + new Date().toLocaleTimeString();
+  } catch (err) {
+    document.getElementById("updated").textContent = "poll failed: " + err;
+  }
+}
+tick();
+setInterval(tick, POLL_MS);
+</script>
+</body>
+</html>
+"""

@@ -32,7 +32,10 @@ Telemetry (all under the installed/injected ``repro.obs`` backend):
 - ``serve.plan_runs{tenant}`` vs ``serve.plan_fallbacks{tenant,
   reason}`` — compiled-plan serving vs event-driven-oracle fallback
   accounting;
-- ``serve.rejected{tenant}`` backpressure rejections.
+- ``serve.rejected{tenant}`` backpressure rejections;
+- ``serve.pending{tenant}`` gauge — lane occupancy, published through
+  a pull collector so the hot path pays nothing (sampled by the
+  flight recorder at each timeline tick).
 """
 
 from __future__ import annotations
@@ -210,6 +213,16 @@ class Dispatcher:
 
             telemetry = current()
         self._telemetry = telemetry
+        if telemetry.enabled:
+            telemetry.metrics.register_collector(self._sync_occupancy)
+
+    def _sync_occupancy(self, metrics) -> None:
+        """Pull collector: publish each lane's queued depth as the
+        ``serve.pending{tenant}`` gauge (batch occupancy)."""
+        for name, lane in self._lanes.items():
+            metrics.gauge("serve.pending", tenant=name).set(
+                len(lane.pending)
+            )
 
     # -- intake --------------------------------------------------------------
     def pending(self, tenant: str) -> int:

@@ -20,6 +20,17 @@ Endpoints:
     The trace events recorded so far as deterministic JSONL (one
     Chrome-trace event per line) — ``serve.batch`` spans nest the
     executor's ``exec.plan``/``exec.forward`` spans.
+``GET /timeline``
+    The flight recorder's retained ring-buffer samples as canonical
+    JSONL; ``GET /timeline?format=json`` returns a document with the
+    parsed samples, the fired alerts, and both sha256 digests (what
+    the dashboard polls).  Each GET also gives the recorder a
+    pull-style ``sample_if_due`` kick, so pollers keep the timeline
+    fresh even between periodic ticks.
+``GET /dashboard``
+    A self-contained polling HTML page (no external assets) rendering
+    the timeline: health cards, the alert log, and a per-series table
+    with sparklines.  See :mod:`repro.serve.dashboard`.
 ``POST /v1/recognize``
     Body ``{"tenant": name, "input": nested-list}``; the input must
     match the tenant's ``(channels, h, w)`` shape (a bare ``(h, w)``
@@ -82,6 +93,34 @@ class _BadRequest(Exception):
         super().__init__(error)
 
 
+#: Default p99 latency budget (seconds) for the stock serve rules.
+DEFAULT_LATENCY_BUDGET_S = 0.5
+
+
+def default_serve_rules(
+    latency_budget_s: float = DEFAULT_LATENCY_BUDGET_S,
+    backlog: int = 128,
+):
+    """The stock serve SLOs: any plan fallback (warning), any
+    backpressure rejection (critical), windowed p99 latency over
+    budget (critical), and lane backlog at or past ``backlog``
+    (warning)."""
+    from repro.obs.watch import Rule
+
+    return [
+        Rule(name="plan-fallbacks", series="serve.plan_fallbacks",
+             kind="rate", op=">", value=0.0, severity="warning"),
+        Rule(name="rejected", series="serve.rejected",
+             kind="rate", op=">", value=0.0, severity="critical"),
+        Rule(name="p99-latency", series="serve.latency_s",
+             kind="quantile", quantile=0.99, op=">",
+             value=latency_budget_s, windows=2, severity="critical"),
+        Rule(name="backlog", series="serve.pending",
+             kind="threshold", op=">=", value=float(backlog),
+             severity="warning"),
+    ]
+
+
 class ServeApp:
     """The long-running service: tenants + dispatcher + telemetry.
 
@@ -92,6 +131,12 @@ class ServeApp:
             (not installed process-wide), which ``/metrics`` and
             ``/traces`` expose.
         clock: timing provider; the loop clock by default.
+        timeline_interval: flight-recorder cadence (clock seconds).
+        timeline_capacity / timeline_window: recorder ring size and
+            rolling-window width (samples).
+        rules: watchdog :class:`~repro.obs.watch.Rule` list; the
+            stock :func:`default_serve_rules` when omitted, ``()`` to
+            disable alerting.
     """
 
     def __init__(
@@ -99,6 +144,10 @@ class ServeApp:
         policy: Optional[BatchPolicy] = None,
         telemetry=None,
         clock=None,
+        timeline_interval: float = 1.0,
+        timeline_capacity: Optional[int] = None,
+        timeline_window: Optional[int] = None,
+        rules=None,
     ) -> None:
         if telemetry is None:
             from repro.obs.runtime import Telemetry
@@ -112,6 +161,26 @@ class ServeApp:
             self.pool, self.policy, self.clock, telemetry=telemetry,
             future_factory=lambda: asyncio.get_running_loop().create_future(),
         )
+        from repro.obs.timeline import (
+            DEFAULT_CAPACITY,
+            DEFAULT_WINDOW,
+            flight_recorder,
+        )
+        from repro.obs.watch import Watchdog
+
+        self.recorder = flight_recorder(
+            telemetry, clock=self.clock.now,
+            interval=timeline_interval,
+            capacity=timeline_capacity or DEFAULT_CAPACITY,
+            window=timeline_window or DEFAULT_WINDOW,
+        )
+        if rules is None:
+            rules = default_serve_rules(backlog=self.policy.max_pending // 2)
+        self.watchdog = Watchdog(
+            rules, telemetry=telemetry if telemetry.enabled else None
+        )
+        if self.recorder.enabled:
+            self.recorder.attach(self.watchdog)
         self.requests_handled = 0
         self.port: Optional[int] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -119,6 +188,7 @@ class ServeApp:
         self._conn_tasks: set = set()
         self._stop = asyncio.Event()
         self._stop_after: Optional[int] = None
+        self._timeline_timer = None
 
     # -- tenant management ---------------------------------------------------
     def add_tenant(self, config: TenantConfig) -> Tenant:
@@ -144,11 +214,29 @@ class ServeApp:
             self._handle_connection, host, port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.recorder.enabled and self._timeline_timer is None:
+            self._timeline_timer = self.clock.call_later(
+                self.recorder.interval, self._timeline_tick
+            )
+
+    def _timeline_tick(self) -> None:
+        """Periodic flight-recorder sample on the serving clock;
+        re-arms itself until shutdown."""
+        self._timeline_timer = None
+        if self._stop.is_set() or not self.recorder.enabled:
+            return
+        self.recorder.sample()
+        self._timeline_timer = self.clock.call_later(
+            self.recorder.interval, self._timeline_tick
+        )
 
     async def shutdown(self) -> None:
         """Graceful stop: drain in-flight batches, close the listener
         and every open connection."""
         self.dispatcher.drain()
+        if self._timeline_timer is not None:
+            self._timeline_timer.cancel()
+            self._timeline_timer = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -290,6 +378,19 @@ class ServeApp:
         if path == "/traces":
             self._require(method, "GET")
             return 200, self._traces(), "application/x-ndjson"
+        if path == "/timeline":
+            self._require(method, "GET")
+            self.recorder.sample_if_due()
+            if "json" in parse_qs(query).get("format", []):
+                return 200, self._timeline_json(), "application/json"
+            jsonl = self.recorder.to_jsonl()
+            return 200, (jsonl + "\n" if jsonl else "").encode(), \
+                "application/x-ndjson"
+        if path == "/dashboard":
+            self._require(method, "GET")
+            from repro.serve.dashboard import DASHBOARD_HTML
+
+            return 200, DASHBOARD_HTML.encode(), "text/html; charset=utf-8"
         if path == "/v1/recognize":
             self._require(method, "POST")
             return 200, await self._recognize(body), "application/json"
@@ -320,6 +421,7 @@ class ServeApp:
 
     # -- endpoint bodies -----------------------------------------------------
     def _healthz(self) -> bytes:
+        active = self.watchdog.active()
         return json.dumps({
             "status": "ok" if not self.dispatcher.closed else "draining",
             "requests_handled": self.requests_handled,
@@ -329,12 +431,53 @@ class ServeApp:
                 "max_delay": self.policy.max_delay,
                 "max_pending": self.policy.max_pending,
             },
+            "alerts": {
+                "active": [a.rule for a in active],
+                "fired": len(self.watchdog.alerts),
+                "critical": self.watchdog.critical_count(),
+            },
+        }, sort_keys=True).encode()
+
+    def _timeline_json(self) -> bytes:
+        """The dashboard document: parsed retained samples, fired
+        alerts, and both determinism digests."""
+        samples = [
+            json.loads(sample.to_json())
+            for sample in self.recorder.samples()
+        ]
+        alerts = [
+            json.loads(alert.to_json()) for alert in self.watchdog.alerts
+        ]
+        return json.dumps({
+            "interval": self.recorder.interval,
+            "window": self.recorder.window,
+            "capacity": self.recorder.capacity,
+            "n_samples": self.recorder.n_samples,
+            "dropped": self.recorder.dropped,
+            "rules": [rule.name for rule in self.watchdog.rules],
+            "samples": samples,
+            "alerts": alerts,
+            "digests": {
+                "timeline": self.recorder.digest(),
+                "alerts": self.watchdog.digest(),
+            },
         }, sort_keys=True).encode()
 
     def _metrics_json(self) -> bytes:
         return json.dumps(
             self.telemetry.metrics.snapshot(), sort_keys=True
         ).encode()
+
+    @staticmethod
+    def _escape_label(value) -> str:
+        """Escape a label value per the Prometheus text exposition
+        format: backslash, double quote, and newline."""
+        return (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
 
     def _metrics_text(self) -> bytes:
         """Prometheus-style exposition from the registry snapshot."""
@@ -344,7 +487,7 @@ class ServeApp:
         ):
             metric = name.replace(".", "_").replace("-", "_")
             labels = ",".join(
-                f'{k}="{v}"' for k, v in label_items
+                f'{k}="{self._escape_label(v)}"' for k, v in label_items
             )
             suffix = "{" + labels + "}" if labels else ""
             if kind == "histogram":
@@ -353,7 +496,8 @@ class ServeApp:
                     payload["buckets"] + [float("inf")], payload["counts"]
                 ):
                     acc += count
-                    le = ",".join(filter(None, [labels, f'le="{bound}"']))
+                    shown = "+Inf" if bound == float("inf") else bound
+                    le = ",".join(filter(None, [labels, f'le="{shown}"']))
                     lines.append(f"{metric}_bucket{{{le}}} {acc}")
                 lines.append(f"{metric}_sum{suffix} {payload['sum']}")
                 lines.append(f"{metric}_count{suffix} {payload['count']}")

@@ -1,5 +1,7 @@
 """Tests for the command-line entry point."""
 
+import json
+
 import pytest
 
 from repro.cli import EXAMPLES, main
@@ -180,3 +182,50 @@ class TestServeCli:
             if proc.poll() is None:
                 proc.kill()
             proc.stdout.close()
+
+
+class TestMonitorCli:
+    def test_monitor_train_prints_health_table(self, capsys):
+        assert main(["monitor", "train", "--epochs", "2",
+                     "--samples", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "rule" in out and "state" in out
+        assert "loss-plateau" in out and "loss-rising" in out
+        assert "samples=" in out and "critical=0" in out
+
+    def test_monitor_unknown_target(self, capsys):
+        assert main(["monitor", "teleportation"]) == 2
+        assert "unknown monitor target" in capsys.readouterr().err
+
+    def test_monitor_bad_rules_file(self, tmp_path, capsys):
+        bad = tmp_path / "rules.json"
+        bad.write_text('{"rules": [{"name": "r"}]}')  # missing series
+        assert main(["monitor", "train", "--rules", str(bad)]) == 2
+        assert "cannot load rules" in capsys.readouterr().err
+        assert main(["monitor", "train",
+                     "--rules", str(tmp_path / "nope.json")]) == 2
+
+    def test_monitor_writes_timeline_and_alerts(self, tmp_path, capsys):
+        out = tmp_path / "timeline.jsonl"
+        alerts = tmp_path / "alerts.jsonl"
+        assert main(["monitor", "train", "--epochs", "2",
+                     "--samples", "24", "--out", str(out),
+                     "--alerts", str(alerts)]) == 0
+        lines = [json.loads(line)
+                 for line in out.read_text().splitlines() if line]
+        assert len(lines) == 2  # one tick per epoch
+        assert any(k.startswith("train.epoch_loss")
+                   for k in lines[-1]["series"])
+        assert "digest" in capsys.readouterr().out
+
+    def test_monitor_critical_alert_exits_4(self, tmp_path, capsys):
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps({"rules": [
+            {"name": "ghost", "series": "no.such.series",
+             "kind": "absence", "severity": "critical"},
+        ]}))
+        assert main(["monitor", "train", "--epochs", "1",
+                     "--samples", "16", "--rules", str(rules)]) == 4
+        captured = capsys.readouterr()
+        assert "FIRING" in captured.out
+        assert "critical alert(s) fired" in captured.err

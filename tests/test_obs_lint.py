@@ -314,6 +314,75 @@ def test_serve_timing_lint_detects_violations():
         assert not serve_timing_usage(ast.parse(src)), src
 
 
+def timeline_forbidden_imports(tree):
+    """Imports of ``time`` or ``repro.sim`` at any depth, as
+    ``(lineno, reason)`` pairs.
+
+    The flight recorder and watchdog exist to make long-running
+    behaviour *deterministically* observable: time reaches them only
+    through the pluggable clock they are handed, and they must never
+    be able to re-enter the event loop.  Even the lazy-import escape
+    hatch is banned in ``repro.obs.timeline`` / ``repro.obs.watch``.
+    """
+    offenders = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time" or alias.name.startswith("time."):
+                    offenders.append((node.lineno, "time import"))
+                elif (alias.name == "repro.sim"
+                        or alias.name.startswith("repro.sim.")):
+                    offenders.append((node.lineno, "repro.sim import"))
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if mod == "time" or mod.startswith("time."):
+                offenders.append((node.lineno, "time import"))
+            elif mod == "repro.sim" or mod.startswith("repro.sim."):
+                offenders.append((node.lineno, "repro.sim import"))
+            elif mod == "repro" and any(a.name == "sim" for a in node.names):
+                offenders.append((node.lineno, "repro.sim import"))
+    return offenders
+
+
+def test_timeline_and_watch_never_import_time_or_sim():
+    offenders = []
+    for name in ("timeline.py", "watch.py"):
+        path = SRC / "obs" / name
+        assert path.is_file(), f"repro/obs/{name} is missing"
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, reason in timeline_forbidden_imports(tree):
+            offenders.append(
+                f"{path.relative_to(SRC.parent)}:{lineno} ({reason})"
+            )
+    assert offenders == [], (
+        "the flight recorder / watchdog see time only through their "
+        f"pluggable clock, never wall time or the sim: {offenders}"
+    )
+
+
+def test_timeline_lint_detects_violations():
+    for src in (
+        "import time\n",
+        "import time as t\n",
+        "from time import monotonic\n",
+        "import repro.sim\n",
+        "from repro.sim import Simulator\n",
+        "from repro.sim.engine import Simulator\n",
+        "from repro import sim\n",
+        "def f():\n    import time\n",                    # lazy too
+        "def f():\n    from repro.sim import Simulator\n",
+    ):
+        assert timeline_forbidden_imports(ast.parse(src)), src
+    for src in (
+        "import timeit\n",
+        "from timeit import timeit\n",
+        "import repro.simulation\n",
+        "from repro.obs.trace import canonical_value\n",
+        "def f(clock):\n    return clock()\n",
+    ):
+        assert not timeline_forbidden_imports(ast.parse(src)), src
+
+
 def test_sim_lint_detects_violations():
     for src in (
         "import repro.sim\n",

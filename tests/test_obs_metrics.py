@@ -144,3 +144,85 @@ class TestNullMetrics:
         assert null.series() == []
         assert null.value("x") == 0.0
         assert null.total("x") == 0.0
+
+
+class TestHistogramEdgeCases:
+    def test_q0_returns_first_nonempty_bucket(self):
+        h = Histogram(buckets=(1.0, 10.0, 100.0))
+        h.observe(5.0)  # lands in the <=10 bucket
+        assert h.quantile_bound(0.0) == 10.0
+
+    def test_q1_covers_the_maximum(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(7.0)
+        assert h.quantile_bound(1.0) == 10.0
+
+    def test_quantile_rejects_out_of_range(self):
+        h = Histogram(buckets=(1.0,))
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile_bound(1.5)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile_bound(-0.1)
+
+    def test_terminal_inf_bound_accepted(self):
+        h = Histogram(buckets=(1.0, float("inf")))
+        h.observe(99.0)
+        assert h.quantile_bound(0.9) == float("inf")
+        assert h.counts == [0, 1, 0]
+
+    def test_non_terminal_inf_bound_rejected(self):
+        with pytest.raises(ValueError, match="terminal"):
+            Histogram(buckets=(float("inf"), 1.0))
+
+    def test_nan_bound_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Histogram(buckets=(1.0, float("nan")))
+
+
+class TestMergeSnapshotValidation:
+    def test_bucket_boundary_mismatch_raises(self):
+        src = MetricsRegistry()
+        src.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        dst = MetricsRegistry()
+        dst.histogram("lat", buckets=(1.0, 5.0))
+        with pytest.raises(
+            ValueError, match="bucket boundaries mismatch on merge"
+        ):
+            dst.merge_snapshot(src.snapshot())
+
+    def test_mismatch_message_names_both_boundaries(self):
+        src = MetricsRegistry()
+        src.histogram("lat", buckets=(1.0,)).observe(0.5)
+        dst = MetricsRegistry()
+        dst.histogram("lat", buckets=(2.0,))
+        with pytest.raises(ValueError) as err:
+            dst.merge_snapshot(src.snapshot())
+        assert "'lat'" in str(err.value)
+        assert "(2.0,)" in str(err.value) and "(1.0,)" in str(err.value)
+
+    def test_malformed_counts_raise(self):
+        snap = [[
+            "lat", [], "histogram",
+            {"buckets": [1.0, 2.0], "counts": [1, 2], "sum": 1.0,
+             "count": 3},
+        ]]
+        with pytest.raises(ValueError, match="malformed.*expected 3"):
+            MetricsRegistry().merge_snapshot(snap)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown instrument kind"):
+            MetricsRegistry().merge_snapshot([["x", [], "summary", 0]])
+
+    def test_valid_merge_accumulates(self):
+        src = MetricsRegistry()
+        h = src.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        dst = MetricsRegistry()
+        dst.merge_snapshot(src.snapshot())
+        dst.merge_snapshot(src.snapshot())
+        merged = dst.histogram("lat", buckets=(1.0, 2.0))
+        assert merged.counts == [2, 0, 2]
+        assert merged.count == 4
+        assert merged.sum == pytest.approx(11.0)

@@ -1,0 +1,328 @@
+"""Watchdog semantics: rule kinds, hysteresis, label aggregation,
+rule-file parsing, alert determinism, and the health table."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    FlightRecorder,
+    Rule,
+    Telemetry,
+    Watchdog,
+    health_table,
+    load_rules,
+    parse_rules,
+)
+
+
+def _driven(rules, drive, ticks, tel=None, window=4, clock=None):
+    """Run `ticks` recorder samples, calling drive(metrics, i) before
+    each; returns (recorder, watchdog)."""
+    tel = tel if tel is not None else Telemetry()
+    rec = FlightRecorder(tel, window=window, clock=clock)
+    dog = Watchdog(rules, telemetry=tel)
+    rec.attach(dog)
+    for i in range(ticks):
+        drive(tel.metrics, i)
+        rec.sample()
+    return rec, dog
+
+
+class TestRuleValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="non-empty name"):
+            Rule(name="", series="x")
+        with pytest.raises(ValueError, match="needs a series"):
+            Rule(name="r", series="")
+        with pytest.raises(ValueError, match="unknown kind"):
+            Rule(name="r", series="x", kind="median")
+        with pytest.raises(ValueError, match="unknown op"):
+            Rule(name="r", series="x", op="==")
+        with pytest.raises(ValueError, match="unknown severity"):
+            Rule(name="r", series="x", severity="fatal")
+        with pytest.raises(ValueError, match="windows"):
+            Rule(name="r", series="x", windows=0)
+        with pytest.raises(ValueError, match="quantile"):
+            Rule(name="r", series="x", kind="quantile", quantile=1.5)
+
+    def test_error_names_the_rule(self):
+        with pytest.raises(ValueError, match="'bad-rule'"):
+            Rule(name="bad-rule", series="x", kind="nope")
+
+    def test_duplicate_rule_names_rejected(self):
+        rules = [Rule(name="r", series="a"), Rule(name="r", series="b")]
+        with pytest.raises(ValueError, match="duplicate rule names: r"):
+            Watchdog(rules)
+
+
+class TestRuleKinds:
+    def test_threshold_fires_on_level(self):
+        rule = Rule(name="deep", series="depth", kind="threshold",
+                    op=">=", value=3.0)
+
+        def drive(metrics, i):
+            metrics.gauge("depth").set(float(i))
+
+        _, dog = _driven([rule], drive, ticks=5)
+        assert len(dog.alerts) == 1
+        a = dog.alerts[0]
+        assert (a.rule, a.observed, a.index) == ("deep", 3.0, 3)
+
+    def test_rate_fires_on_windowed_rate(self):
+        rule = Rule(name="drops", series="net.dropped", kind="rate",
+                    op=">", value=0.0, severity="critical")
+
+        def drive(metrics, i):
+            if i >= 2:
+                metrics.counter("net.dropped").inc()
+
+        state = {"t": 0.0}
+
+        def clock():
+            state["t"] += 1.0
+            return state["t"]
+
+        _, dog = _driven([rule], drive, ticks=4, clock=clock)
+        assert len(dog.alerts) == 1
+        assert dog.alerts[0].severity == "critical"
+
+    def test_absence_fires_when_nothing_flows(self):
+        rule = Rule(name="stalled", series="net.delivered",
+                    kind="absence", windows=2)
+
+        def drive(metrics, i):
+            if i < 2:
+                metrics.counter("net.delivered").inc()
+
+        _, dog = _driven([rule], drive, ticks=5)
+        # Ticks 2,3 are the first two consecutive zero-delta ticks.
+        assert [a.index for a in dog.alerts] == [3]
+
+    def test_absence_fires_for_never_seen_series(self):
+        rule = Rule(name="missing", series="ghost", kind="absence")
+        _, dog = _driven([rule], lambda m, i: None, ticks=1)
+        assert len(dog.alerts) == 1
+        assert dog.alerts[0].observed == 0.0
+
+    def test_trend_watches_per_tick_delta(self):
+        # "loss non-decreasing for 2 ticks" on a gauge.
+        rule = Rule(name="plateau", series="train.loss", kind="trend",
+                    op=">=", value=0.0, windows=2)
+        losses = [1.0, 0.8, 0.8, 0.9, 0.5]
+
+        def drive(metrics, i):
+            metrics.gauge("train.loss").set(losses[i])
+
+        _, dog = _driven([rule], drive, ticks=5)
+        # Deltas: 0.0 (first gauge tick), -0.2, 0.0, +0.1, -0.4 —
+        # ticks 2 and 3 are the consecutive non-decreasing pair.
+        assert [a.index for a in dog.alerts] == [3]
+
+    def test_quantile_fires_on_windowed_p99(self):
+        rule = Rule(name="p99", series="lat", kind="quantile",
+                    quantile=0.99, op=">", value=0.5,
+                    severity="critical")
+
+        def drive(metrics, i):
+            h = metrics.histogram("lat", buckets=(0.1, 0.5, 2.0))
+            h.observe(0.05 if i < 2 else 1.5)
+
+        _, dog = _driven([rule], drive, ticks=4)
+        assert len(dog.alerts) == 1
+        assert dog.alerts[0].observed == 2.0
+
+    def test_quantile_empty_window_does_not_fire(self):
+        rule = Rule(name="p99", series="lat", kind="quantile",
+                    op=">", value=0.1)
+
+        def drive(metrics, i):
+            metrics.histogram("lat", buckets=(1.0,))  # no observations
+
+        _, dog = _driven([rule], drive, ticks=3)
+        assert dog.alerts == []
+
+
+class TestHysteresis:
+    def test_needs_consecutive_windows(self):
+        rule = Rule(name="deep", series="depth", op=">", value=0.0,
+                    windows=3)
+        pattern = [1, 1, 0, 1, 1, 1]  # broken streak, then a full one
+
+        def drive(metrics, i):
+            metrics.gauge("depth").set(float(pattern[i]))
+
+        _, dog = _driven([rule], drive, ticks=6)
+        assert [a.index for a in dog.alerts] == [5]
+
+    def test_sustained_breach_fires_once(self):
+        rule = Rule(name="deep", series="depth", op=">", value=0.0)
+
+        def drive(metrics, i):
+            metrics.gauge("depth").set(1.0)
+
+        _, dog = _driven([rule], drive, ticks=5)
+        assert len(dog.alerts) == 1
+        assert len(dog.active()) == 1
+
+    def test_rearms_after_recovery(self):
+        rule = Rule(name="deep", series="depth", op=">", value=0.0)
+        pattern = [1, 1, 0, 1]
+
+        def drive(metrics, i):
+            metrics.gauge("depth").set(float(pattern[i]))
+
+        _, dog = _driven([rule], drive, ticks=4)
+        assert [a.index for a in dog.alerts] == [0, 3]
+
+    def test_clear_resets_state(self):
+        rule = Rule(name="deep", series="depth", op=">", value=0.0)
+
+        def drive(metrics, i):
+            metrics.gauge("depth").set(1.0)
+
+        _, dog = _driven([rule], drive, ticks=2)
+        dog.clear()
+        assert dog.alerts == []
+        assert dog.active() == []
+        assert dog.critical_count() == 0
+
+
+class TestLabelAggregation:
+    def test_unlabeled_rule_sums_all_series(self):
+        rule = Rule(name="fallbacks", series="f", op=">", value=2.5)
+
+        def drive(metrics, i):
+            metrics.counter("f", tenant="a").inc()
+            metrics.counter("f", tenant="b").inc(2)
+
+        _, dog = _driven([rule], drive, ticks=1)
+        assert dog.alerts[0].observed == 3.0
+
+    def test_label_filter_is_subset_match(self):
+        rule = Rule(name="a-only", series="f", op=">", value=0.0,
+                    labels=(("tenant", "a"),))
+
+        def drive(metrics, i):
+            metrics.counter("f", tenant="a", reason="x").inc()
+            metrics.counter("f", tenant="b").inc(100)
+
+        _, dog = _driven([rule], drive, ticks=1)
+        assert dog.alerts[0].observed == 1.0
+
+
+class TestTelemetryEmission:
+    def test_firing_emits_instant_and_counter(self):
+        tel = Telemetry()
+        rule = Rule(name="deep", series="depth", op=">", value=0.0,
+                    severity="critical")
+
+        def drive(metrics, i):
+            metrics.gauge("depth").set(1.0)
+
+        _, dog = _driven([rule], drive, ticks=1, tel=tel)
+        assert dog.critical_count() == 1
+        instants = [e for e in tel.tracer.events
+                    if e.name == "watch.alert" and e.phase == "i"]
+        assert len(instants) == 1
+        assert instants[0].attrs["rule"] == "deep"
+        counter = tel.metrics.counter(
+            "watch.alerts", rule="deep", severity="critical"
+        )
+        assert counter.value == 1.0
+
+
+class TestAlertExport:
+    @staticmethod
+    def _run():
+        rule = Rule(name="deep", series="depth", op=">", value=0.5)
+        pattern = [1, 0, 1, 0]
+
+        def drive(metrics, i):
+            metrics.gauge("depth").set(float(pattern[i]))
+
+        return _driven([rule], drive, ticks=4)
+
+    def test_jsonl_is_canonical_and_deterministic(self):
+        (_, a), (_, b) = self._run(), self._run()
+        assert a.to_jsonl() == b.to_jsonl()
+        assert a.digest() == b.digest()
+        for line in a.to_jsonl().split("\n"):
+            doc = json.loads(line)
+            assert set(doc) == {"i", "t", "rule", "series", "kind",
+                                "severity", "observed", "op", "value"}
+            assert json.dumps(
+                doc, sort_keys=True, separators=(",", ":")
+            ) == line
+
+
+class TestRuleFiles:
+    def test_parse_rules_document_and_bare_list(self):
+        doc = {"rules": [{"name": "r", "series": "x"}]}
+        assert parse_rules(doc)[0].name == "r"
+        assert parse_rules(doc["rules"])[0].name == "r"
+
+    def test_parse_rules_labels_sorted(self):
+        rules = parse_rules([{
+            "name": "r", "series": "x",
+            "labels": {"tenant": "a", "cause": "loss"},
+        }])
+        assert rules[0].labels == (("cause", "loss"), ("tenant", "a"))
+
+    def test_parse_rules_rejects_garbage(self):
+        with pytest.raises(ValueError, match='"rules" list'):
+            parse_rules({"rule": []})
+        with pytest.raises(ValueError, match="must be a list"):
+            parse_rules({"rules": "nope"})
+        with pytest.raises(ValueError, match="rule #0 must be an object"):
+            parse_rules(["nope"])
+        with pytest.raises(ValueError, match="unknown keys threshold"):
+            parse_rules([{"name": "r", "series": "x", "threshold": 1}])
+        with pytest.raises(ValueError, match="labels must be an object"):
+            parse_rules([{"name": "r", "series": "x", "labels": [1]}])
+        with pytest.raises(ValueError, match="rule #0"):
+            parse_rules([{"series": "x"}])  # missing name -> TypeError
+
+    def test_load_rules_round_trip(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({"rules": [
+            {"name": "p99", "series": "lat", "kind": "quantile",
+             "op": ">", "value": 0.25, "windows": 2,
+             "severity": "critical"},
+        ]}))
+        rules = load_rules(path)
+        assert rules[0] == Rule(
+            name="p99", series="lat", kind="quantile", op=">",
+            value=0.25, windows=2, severity="critical",
+        )
+
+    def test_load_rules_invalid_json(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="invalid rule file"):
+            load_rules(path)
+
+
+class TestHealthTable:
+    def test_table_shows_rules_and_footer(self):
+        rules = [
+            Rule(name="deep", series="depth", op=">", value=0.5),
+            Rule(name="stalled", series="ghost", kind="absence",
+                 severity="critical"),
+        ]
+
+        def drive(metrics, i):
+            metrics.gauge("depth").set(1.0)
+
+        rec, dog = _driven(rules, drive, ticks=3)
+        table = health_table(rec, dog)
+        assert "deep" in table and "FIRING" in table
+        assert "delta == 0" in table
+        assert "samples=3 retained=3" in table
+        assert "critical=1" in table
+
+    def test_empty_recorder(self):
+        rec = FlightRecorder(Telemetry())
+        dog = Watchdog([Rule(name="r", series="x")])
+        table = health_table(rec, dog)
+        assert "samples=0" in table

@@ -163,7 +163,8 @@ class TestBenchCli:
             "im2col_unfold", "forward_e2e", "forward_plan",
             "forward_masked_dead20", "local_backward", "train_epoch",
             "sim_event_throughput", "traffic_replay_batched",
-            "telemetry_overhead", "sweep_scaling", "serve_throughput",
+            "telemetry_overhead", "timeline_overhead", "sweep_scaling",
+            "serve_throughput",
         ]
         assert set(names) == set(serial_names)
 
@@ -372,6 +373,31 @@ class TestTelemetryOverheadBench:
             entry["reference_timing"]["runs_s"]
         )
         assert len(entry["timing"]["runs_s"]) > report["protocol"]["repeat"]
+
+    def test_timeline_entry_shape_budget_and_parity(self, quick_report):
+        """The flight-recorder overhead case: same interleaved-pairs
+        protocol and 5% budget as the tracer bench, plus the two pins
+        specific to the recorder — a near-zero null-backend hook cost
+        and byte-identical timeline digests across seeded runs (the
+        parity evidence the bench table surfaces)."""
+        __, report = quick_report
+        (entry,) = [
+            b for b in report["benchmarks"]
+            if b["name"] == "timeline_overhead"
+        ]
+        assert entry["reference_timing"]["best_s"] > 0
+        assert entry["timing"]["best_s"] > 0
+        counters = entry["counters"]
+        assert counters["budget_pct"] == 5.0
+        assert counters["series_per_sample"] > 0
+        assert counters["overhead_pct"] < 50.0  # loose: quick-mode noise
+        # The disabled recorder's sample_if_due is one attribute check:
+        # nanoseconds, not microseconds.
+        assert 0 <= counters["null_sample_ns"] < 2000.0
+        assert counters["parity_digest_identical"] == 1.0
+        assert len(entry["timing"]["runs_s"]) == len(
+            entry["reference_timing"]["runs_s"]
+        )
 
     def test_bench_trace_writes_valid_jsonl(self, tmp_path):
         from repro import obs

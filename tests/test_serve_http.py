@@ -360,3 +360,103 @@ class TestBackpressureOverHttp:
         ok = [body for status, body in zip(report.statuses, report.responses)
               if status == 200]
         assert all(len(body["logits"]) == 2 for body in ok)
+
+
+class TestTimelineAndDashboard:
+    def test_timeline_jsonl_endpoint(self):
+        async def test(app, client):
+            x = np.zeros((1, 8, 8))
+            await client.post_json(
+                "/v1/recognize", {"tenant": "fall", "input": x.tolist()}
+            )
+            # The GET itself gives the recorder a sample_if_due kick,
+            # so at least one tick exists even before the timer fires.
+            status, headers, body = await client.request(
+                "GET", "/timeline"
+            )
+            assert status == 200
+            assert "ndjson" in headers.get("content-type", "")
+            lines = body.decode().splitlines()
+            assert lines
+            doc = json.loads(lines[-1])
+            assert set(doc) == {"i", "t", "series"}
+            assert any(k.startswith("serve.requests") for k in doc["series"])
+
+        run(with_app(test))
+
+    def test_timeline_json_document(self):
+        async def test(app, client):
+            x = np.zeros((1, 8, 8))
+            await client.post_json(
+                "/v1/recognize", {"tenant": "fall", "input": x.tolist()}
+            )
+            status, doc = await client.get_json("/timeline?format=json")
+            assert status == 200
+            assert doc["interval"] == app.recorder.interval
+            assert doc["n_samples"] >= 1
+            assert doc["dropped"] == 0
+            assert "p99-latency" in doc["rules"]
+            assert len(doc["samples"]) == doc["n_samples"]
+            assert doc["alerts"] == []
+            assert doc["digests"]["timeline"] == app.recorder.digest()
+            assert doc["digests"]["alerts"] == app.watchdog.digest()
+
+        run(with_app(test))
+
+    def test_dashboard_serves_html(self):
+        async def test(app, client):
+            status, headers, body = await client.request(
+                "GET", "/dashboard"
+            )
+            assert status == 200
+            assert headers.get("content-type", "").startswith("text/html")
+            page = body.decode()
+            assert "<!doctype html>" in page.lower()
+            # The page is self-contained and polls the app's own
+            # endpoints -- no external assets.
+            assert "/timeline?format=json" in page
+            assert "/healthz" in page
+            assert "src=" not in page and "href=" not in page
+
+        run(with_app(test))
+
+    def test_healthz_includes_alert_summary(self):
+        async def test(app, client):
+            status, health = await client.get_json("/healthz")
+            assert status == 200
+            assert health["alerts"] == {
+                "active": [], "fired": 0, "critical": 0,
+            }
+
+        run(with_app(test))
+
+
+class TestPrometheusExposition:
+    def test_label_values_are_escaped(self):
+        async def test(app, client):
+            app.telemetry.metrics.counter(
+                "weird", path='a\\b', msg='say "hi"\nnow'
+            ).inc()
+            status, __, body = await client.request("GET", "/metrics")
+            assert status == 200
+            line = next(
+                line for line in body.decode().splitlines()
+                if line.startswith("weird{")
+            )
+            assert 'msg="say \\"hi\\"\\nnow"' in line
+            assert 'path="a\\\\b"' in line
+            assert "\n" not in line  # the newline never leaks raw
+
+        run(with_app(test))
+
+    def test_histogram_le_inf_label(self):
+        async def test(app, client):
+            x = np.zeros((1, 8, 8))
+            await client.post_json(
+                "/v1/recognize", {"tenant": "fall", "input": x.tolist()}
+            )
+            status, __, body = await client.request("GET", "/metrics")
+            assert status == 200
+            assert 'le="+Inf"' in body.decode()
+
+        run(with_app(test))
