@@ -670,6 +670,73 @@ def cmd_monitor(args) -> int:
     return 0
 
 
+def cmd_topo(args) -> int:
+    """Generate a topology, print its summary, optionally export it."""
+    import json
+
+    import numpy as np
+
+    from repro.wsn import (
+        GridTopology,
+        RandomTopology,
+        load_map_topology,
+        make_topology,
+        sample_map_path,
+    )
+
+    kind = args.kind
+    try:
+        if kind == "grid":
+            topo = GridTopology(args.rows, args.cols, spacing=args.spacing,
+                                comm_range=args.comm_range)
+        elif kind == "random":
+            topo = RandomTopology(
+                args.n, args.side, args.side,
+                comm_range=args.comm_range if args.comm_range else 15.0,
+                rng=np.random.default_rng(args.seed),
+            )
+        elif kind == "map":
+            path = Path(args.path) if args.path else sample_map_path()
+            topo = load_map_topology(path, comm_range=args.comm_range)
+        else:
+            params = {"n_leaves" if kind == "star" else "n_nodes": args.n}
+            if kind in ("clique", "star"):
+                params["radius"] = args.radius
+            else:
+                params["spacing"] = args.spacing
+            if args.comm_range is not None:
+                params["comm_range"] = args.comm_range
+            topo = make_topology(kind, **params)
+    except (ValueError, OSError) as exc:
+        print(f"topology generation failed: {exc}", file=sys.stderr)
+        return 2
+    g = topo.graph()
+    degrees = sorted(d for __, d in g.degree())
+    adjacency = topo.sparse_adjacency()
+    print(f"kind:        {kind}")
+    print(f"nodes:       {len(topo)} ({len(topo.alive_nodes())} alive)")
+    print(f"comm_range:  {topo.comm_range:g}")
+    print(f"edges:       {adjacency.n_edges}")
+    print(f"connected:   {topo.is_connected()}")
+    if degrees:
+        mean = sum(degrees) / len(degrees)
+        print(f"degree:      min {degrees[0]}  mean {mean:.2f}  "
+              f"max {degrees[-1]}")
+    if args.out:
+        doc = {
+            "name": f"{kind}-{len(topo)}",
+            "comm_range": topo.comm_range,
+            "nodes": [
+                {"id": n.node_id, "pos": [n.position[0], n.position[1]]}
+                for n in topo
+            ],
+        }
+        Path(args.out).write_text(json.dumps(doc, indent=1) + "\n")
+        print(f"map written to {args.out} (reload with "
+              f"'repro topo map --path {args.out}')")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """Argument parsing and dispatch; returns the exit code."""
     parser = argparse.ArgumentParser(
@@ -855,6 +922,36 @@ def main(argv: Optional[list] = None) -> int:
                                 help="write the timeline JSONL to PATH")
     monitor_parser.add_argument("--alerts", default=None, metavar="PATH",
                                 help="write the fired-alert JSONL to PATH")
+    topo_parser = sub.add_parser(
+        "topo", help="generate a topology (clique/chain/ring/star/grid/"
+                     "random/map), summarize it, optionally export JSON"
+    )
+    topo_parser.add_argument("kind",
+                             choices=("clique", "chain", "ring", "star",
+                                      "grid", "random", "map"),
+                             help="topology shape or 'map' for JSON import")
+    topo_parser.add_argument("--n", type=int, default=16,
+                             help="node count (star: leaf count; "
+                                  "default 16)")
+    topo_parser.add_argument("--rows", type=int, default=4,
+                             help="grid rows (default 4)")
+    topo_parser.add_argument("--cols", type=int, default=4,
+                             help="grid cols (default 4)")
+    topo_parser.add_argument("--spacing", type=float, default=1.0,
+                             help="chain/ring/grid spacing (default 1)")
+    topo_parser.add_argument("--radius", type=float, default=1.0,
+                             help="clique/star circle radius (default 1)")
+    topo_parser.add_argument("--side", type=float, default=40.0,
+                             help="random: square side length (default 40)")
+    topo_parser.add_argument("--comm-range", type=float, default=None,
+                             help="override the shape's default comm range")
+    topo_parser.add_argument("--seed", type=int, default=0,
+                             help="random placement seed (default 0)")
+    topo_parser.add_argument("--path", default=None, metavar="JSON",
+                             help="map: file to import (default: the "
+                                  "committed sample district)")
+    topo_parser.add_argument("--out", default=None, metavar="JSON",
+                             help="export the topology as a map JSON file")
     stats_parser = sub.add_parser(
         "stats", help="per-node cost tables from a written trace"
     )
@@ -881,6 +978,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_serve(args)
     if args.command == "monitor":
         return cmd_monitor(args)
+    if args.command == "topo":
+        return cmd_topo(args)
     if args.command == "stats":
         return cmd_stats(args)
     return cmd_run(args.name)

@@ -47,7 +47,17 @@ Workloads:
   timings include pool startup (honest end-to-end wall clock), the
   merged reports are asserted byte-identical across ``jobs``, and
   ``counters.cpu_count`` records how many cores the numbers were
-  taken on.
+  taken on;
+- ``city_scale`` — a 10k-node random district on the grid-hash
+  spatial index vs. the brute-force reference path: full
+  neighborhood/graph construction, per-node neighbor queries, k
+  routed unicasts (plus one unroutable send to a dead node), and a
+  short Choco sim round on a district window.  Neighbor lists,
+  graph structure, routes, ``TrafficStats`` (counter-exact), and
+  the Choco round are asserted identical untimed before the clocks
+  start (the ``parity_*`` counters); ``counters.graph_build_s``
+  pins the < 5 s full-build budget next to the measured O(n^2)
+  ``reference_graph_build_s``.
 
 ``run_suite(jobs=N)`` fans the *independent* benchmarks out over a
 process pool (one benchmark per worker at a time, so each timing loop
@@ -80,8 +90,15 @@ from repro.perf.timing import (
     measure,
 )
 from repro.sim.engine import Simulator
-from repro.wsn.network import Network
-from repro.wsn.topology import GridTopology
+from repro.wsn.choco import ChocoCollector
+from repro.wsn.network import Message, Network
+from repro.wsn.node import SensorNode
+from repro.wsn.radio import RadioModel
+from repro.wsn.routing import (
+    shortest_path_route,
+    shortest_path_route_reference,
+)
+from repro.wsn.topology import GridTopology, RandomTopology, Topology
 
 #: Full-mode protocol; quick mode shrinks both knobs so the smoke test
 #: stays inside tier-1 budgets.
@@ -992,6 +1009,216 @@ def bench_serve_throughput(
     }
 
 
+def bench_city_scale(protocol: BenchProtocol, seed: int, quick: bool) -> Dict:
+    """City-district WSN on the spatial index vs. the brute-force path.
+
+    The workload is the ROADMAP's city-scale scenario: a 10k-node
+    random district (1 node per ~100 m^2, 15 m comm range — mean
+    degree ~7, one giant component) with 2 % of the tags dead.  Each
+    timed run performs, from cold caches:
+
+    - full neighborhood construction (spatial: grid-hash index + CSR
+      adjacency + connectivity graph; reference: the O(n^2) double
+      loop),
+    - ``m_sample`` per-node neighbor queries,
+    - ``k_routes`` routed unicasts plus one send addressed to a dead
+      node (dropped as ``unroutable``) — the reference router rebuilds
+      its graph per call, which is exactly what the seed-state
+      ``shortest_path_route`` did,
+    - a short Choco RSSI sim round over a district window.
+
+    Untimed, before any clock starts, the two paths are asserted
+    equivalent: identical ordered neighbor lists over the sample,
+    identical graph nodes/edges/weights, identical routes (including
+    the ``None`` for the dead destination), **counter-exact**
+    ``TrafficStats`` (every global and per-node counter), and a
+    bit-identical Choco round (same RNG draw order).  The ``parity_*``
+    counters surface those certifications in the committed table.
+
+    The reference side runs ``warmup=0, repeat=1``: it is ~1-2 orders
+    of magnitude slower, so one honest cold run is both affordable and
+    representative.  ``counters.graph_build_s`` times one cold spatial
+    ``graph()`` build (< 5 s acceptance bound at 10k) next to the
+    measured ``reference_graph_build_s`` O(n^2) build.
+    """
+    import networkx as nx
+
+    n_nodes = 1_500 if quick else 10_000
+    side = 387.0 if quick else 1_000.0  # ~1 node / 100 m^2 in both modes
+    comm_range = 15.0
+    m_sample = 32 if quick else 128
+    k_routes = 3
+    dead_frac = 0.02
+    sub_window = 120.0 if quick else 150.0
+    rng = np.random.default_rng(seed + 11)
+    topology = RandomTopology(n_nodes, side, side, comm_range, rng)
+    node_ids = sorted(topology.nodes)
+    n_dead = max(1, round(dead_frac * n_nodes))
+    dead = sorted(int(i) for i in rng.choice(node_ids, n_dead, replace=False))
+    for nid in dead:
+        topology.node(nid).alive = False
+    counters = CounterRegistry()
+
+    # -- untimed cold builds, individually clocked --------------------------
+    topology.invalidate_caches()
+    t0 = time.perf_counter()
+    g_spatial = topology.cached_graph()
+    graph_build_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    g_reference = topology.graph_reference()
+    reference_graph_build_s = time.perf_counter() - t0
+
+    # -- untimed parity certifications --------------------------------------
+    if list(g_spatial.nodes) != list(g_reference.nodes) or list(
+        g_spatial.edges(data="weight")
+    ) != list(g_reference.edges(data="weight")):
+        raise AssertionError(  # pragma: no cover - parity contract
+            "spatial connectivity graph diverged from the O(n^2) reference"
+        )
+    # Sample includes a dead node: querying a dead center is legal and
+    # must agree with the reference scan.
+    sample_ids = [
+        int(i) for i in rng.choice(node_ids, m_sample - 1, replace=False)
+    ] + [dead[0]]
+    for nid in sample_ids:
+        got = [n.node_id for n in topology.neighbors(nid)]
+        want = [n.node_id for n in topology.neighbors_reference(nid)]
+        if got != want:  # pragma: no cover - parity contract
+            raise AssertionError(
+                f"neighbors({nid}) diverged: {got} != {want}"
+            )
+
+    def _route_on_reference_graph(topo, src, dst):
+        # shortest_path_route_reference semantics on the prebuilt
+        # reference graph (endpoint contract included) — reference
+        # routing without paying a fresh O(n^2) build per parity call.
+        if src not in g_reference or dst not in g_reference:
+            return None
+        if src == dst:
+            return [src]
+        try:
+            return nx.shortest_path(g_reference, src, dst)
+        except nx.NetworkXNoPath:
+            return None
+
+    pairs: List = []
+    alive_ids = [n.node_id for n in topology.alive_nodes()]
+    while len(pairs) < k_routes:
+        s, d = (int(i) for i in rng.choice(alive_ids, 2, replace=False))
+        if shortest_path_route(topology, s, d) is not None:
+            pairs.append((s, d))
+    pairs.append((pairs[0][0], dead[0]))  # unroutable: dead destination
+    for s, d in pairs:
+        got = shortest_path_route(topology, s, d)
+        want = _route_on_reference_graph(topology, s, d)
+        if got != want:  # pragma: no cover - parity contract
+            raise AssertionError(f"route {s}->{d} diverged: {got} != {want}")
+
+    net_spatial = Network(topology)
+    net_parity = Network(topology, router=_route_on_reference_graph)
+    net_reference = Network(topology, router=shortest_path_route_reference)
+
+    def _send_all(network: Network) -> Dict:
+        network.reset_stats()
+        for s, d in pairs:
+            network.unicast(Message(s, d, 8))
+        return _full_stats(network)
+
+    spatial_stats = _send_all(net_spatial)
+    delivered = net_spatial.stats.delivered
+    unroutable = net_spatial.stats.dropped_causes.get("unroutable", 0)
+    if _send_all(net_parity) != spatial_stats:
+        raise AssertionError(  # pragma: no cover - parity contract
+            "TrafficStats diverged between spatial and reference routing"
+        )
+    if delivered != k_routes or unroutable != 1:
+        raise AssertionError(  # pragma: no cover - parity contract
+            f"expected {k_routes} deliveries + 1 unroutable, got "
+            f"{delivered} + {unroutable}"
+        )
+
+    # District window for the Choco sim round (copied nodes: a node
+    # belongs to the topology that bound it last, so the sub-district
+    # must not steal the main topology's epoch notifications).
+    sub_nodes = [
+        SensorNode(n.node_id, n.position, alive=n.alive)
+        for n in topology
+        if 0.0 <= n.position[0] <= sub_window
+        and 0.0 <= n.position[1] <= sub_window
+    ]
+    sub_topology = Topology(sub_nodes, comm_range)
+    collector = ChocoCollector(sub_topology, RadioModel())
+    round_spatial = collector.run_round(0.0, np.random.default_rng(seed + 13))
+    round_reference = collector.run_round_reference(
+        0.0, np.random.default_rng(seed + 13)
+    )
+    if (
+        round_spatial.inter_node_rssi != round_reference.inter_node_rssi
+        or round_spatial.surrounding_rssi != round_reference.surrounding_rssi
+    ):
+        raise AssertionError(  # pragma: no cover - parity contract
+            "Choco round diverged between spatial and reference paths"
+        )
+
+    counters.set("parity_graph_identical", 1.0)
+    counters.set("parity_neighbors_identical", 1.0)
+    counters.set("parity_routes_identical", 1.0)
+    counters.set("parity_stats_equal", 1.0)
+    counters.set("parity_choco_identical", 1.0)
+    counters.set("parity_unroutable_attributed", 1.0)
+    counters.set("graph_build_s", graph_build_s)
+    counters.set("reference_graph_build_s", reference_graph_build_s)
+    counters.set("n_nodes", n_nodes)
+    counters.set("n_edges", g_spatial.number_of_edges())
+    counters.set("n_dead", n_dead)
+    counters.set("n_sub_nodes", len(sub_nodes))
+
+    # -- timed workloads ----------------------------------------------------
+    def spatial_workload(__) -> None:
+        topology.invalidate_caches()
+        sub_topology.invalidate_caches()
+        topology.cached_graph()
+        for nid in sample_ids:
+            topology.neighbors(nid)
+        for s, d in pairs:
+            net_spatial.unicast(Message(s, d, 8))
+        collector.run_round(0.0, np.random.default_rng(seed + 13))
+
+    def reference_workload(__) -> None:
+        topology.graph_reference()
+        for nid in sample_ids:
+            topology.neighbors_reference(nid)
+        for s, d in pairs:
+            net_reference.unicast(Message(s, d, 8))
+        collector.run_round_reference(0.0, np.random.default_rng(seed + 13))
+
+    timing = measure(
+        spatial_workload, protocol, setup=net_spatial.reset_stats
+    )
+    reference = measure(
+        reference_workload,
+        BenchProtocol(warmup=0, repeat=1),
+        setup=net_reference.reset_stats,
+    )
+    net_spatial.reset_stats()
+    return {
+        "name": "city_scale",
+        "params": {
+            "n_nodes": n_nodes, "side": side, "comm_range": comm_range,
+            "m_sample": m_sample, "k_routes": k_routes,
+            "dead_frac": dead_frac, "sub_window": sub_window, "seed": seed,
+        },
+        "input_digest": input_digest(
+            topology.positions_view(), topology.alive_view(),
+            extra=f"city_scale seed={seed} n={n_nodes} r={comm_range}",
+        ),
+        "timing": timing.to_dict(),
+        "reference_timing": reference.to_dict(),
+        "speedup": reference.best_s / timing.best_s,
+        "counters": counters.to_dict(),
+    }
+
+
 _BENCHMARKS = (
     bench_traffic_replay,
     bench_forward_e2e,
@@ -1005,6 +1232,7 @@ _BENCHMARKS = (
     bench_timeline_overhead,
     bench_sweep_scaling,
     bench_serve_throughput,
+    bench_city_scale,
 )
 
 #: Spawn-safe lookup for the ``--jobs`` fan-out.

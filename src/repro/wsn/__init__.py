@@ -2,15 +2,27 @@
 
 Provides the mesh of tiny IoT devices that MicroDeep runs on: node and
 topology models (§III of the paper places sensor nodes on
-XY-coordinates), a log-distance radio with shadowing and fading, link
-and network layers with per-node traffic accounting (MicroDeep's
-communication-cost unit), simple TDMA/CSMA MACs on the DES kernel, and
-a Choco-style synchronized-collection round used by the RSSI
-crowd-counting experiment.
+XY-coordinates), a grid-hash spatial index for city-scale neighborhood
+queries, deterministic topology generators (clique/chain/ring/star and
+a JSON real-map importer), a log-distance radio with shadowing and
+fading, link and network layers with per-node traffic accounting
+(MicroDeep's communication-cost unit), simple TDMA/CSMA MACs on the DES
+kernel, and a Choco-style synchronized-collection round used by the
+RSSI crowd-counting experiment.
 """
 
 from repro.wsn.node import SensorNode
 from repro.wsn.topology import GridTopology, RandomTopology, Topology
+from repro.wsn.spatial import GridHashIndex, SparseAdjacency, build_adjacency
+from repro.wsn.generators import (
+    ChainTopology,
+    CliqueTopology,
+    RingTopology,
+    StarTopology,
+    load_map_topology,
+    make_topology,
+    sample_map_path,
+)
 from repro.wsn.radio import (
     FadingModel,
     LogDistancePathLoss,
@@ -18,7 +30,11 @@ from repro.wsn.radio import (
     snr_to_per,
 )
 from repro.wsn.network import Message, Network, TrafficStats
-from repro.wsn.routing import shortest_path_route, sink_tree
+from repro.wsn.routing import (
+    shortest_path_route,
+    shortest_path_route_reference,
+    sink_tree,
+)
 from repro.wsn.mac import CsmaMac, MacStats, TdmaMac
 from repro.wsn.choco import ChocoCollector, ChocoRound
 
@@ -27,6 +43,16 @@ __all__ = [
     "Topology",
     "GridTopology",
     "RandomTopology",
+    "GridHashIndex",
+    "SparseAdjacency",
+    "build_adjacency",
+    "CliqueTopology",
+    "ChainTopology",
+    "RingTopology",
+    "StarTopology",
+    "load_map_topology",
+    "make_topology",
+    "sample_map_path",
     "RadioModel",
     "LogDistancePathLoss",
     "FadingModel",
@@ -35,6 +61,7 @@ __all__ = [
     "Message",
     "TrafficStats",
     "shortest_path_route",
+    "shortest_path_route_reference",
     "sink_tree",
     "TdmaMac",
     "CsmaMac",

@@ -80,6 +80,12 @@ class Network:
         telemetry: explicit :class:`repro.obs.Telemetry` override; by
             default the currently installed session (the null backend
             when none) is resolved lazily.
+        router: route resolver ``(topology, src, dst) -> path | None``;
+            defaults to the memoized
+            :func:`~repro.wsn.routing.shortest_path_route`.  The perf
+            suite passes ``shortest_path_route_reference`` here to
+            drive an identically-accounted network over the brute-force
+            path for parity/speedup comparison.
     """
 
     def __init__(
@@ -90,6 +96,7 @@ class Network:
         rng: Optional[np.random.Generator] = None,
         link_faults=None,
         telemetry=None,
+        router=None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError(
@@ -98,6 +105,7 @@ class Network:
         if loss_probability > 0.0 and rng is None:
             raise ValueError("rng is required when links are lossy")
         self.topology = topology
+        self.router = shortest_path_route if router is None else router
         self.loss_probability = loss_probability
         self.max_retries = max_retries
         self._rng = rng
@@ -187,8 +195,11 @@ class Network:
         designed to balance.
         """
         self.stats.sent += 1
-        route = shortest_path_route(self.topology, message.src, message.dst)
+        route = self.router(self.topology, message.src, message.dst)
         if route is None:
+            # Covers no-path *and* dead/unknown endpoints (including a
+            # self-send addressed to a dead node) — see the routing
+            # contract in :func:`~repro.wsn.routing.shortest_path_route`.
             self._drop("unroutable")
             return False
         corrupted = False
@@ -243,7 +254,7 @@ class Network:
         if self.loss_probability > 0.0 or self.link_faults is not None:
             return sum(self.unicast(message) for __ in range(copies))
         self.stats.sent += copies
-        route = shortest_path_route(self.topology, message.src, message.dst)
+        route = self.router(self.topology, message.src, message.dst)
         if route is None:
             self._drop("unroutable", copies)
             return 0

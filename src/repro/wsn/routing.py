@@ -1,4 +1,15 @@
-"""Routing over the topology graph."""
+"""Routing over the topology graph.
+
+Routing resolves against :meth:`Topology.cached_graph` — the
+epoch-memoized connectivity graph — so replay/compile loops that issue
+thousands of routes per topology state stop paying a fresh graph
+reconstruction per call.  Any alive/position mutation bumps the
+topology epoch and the next route sees a rebuilt graph automatically.
+
+The pre-optimization implementation (fresh ``topology.graph()`` per
+call) is kept as :func:`shortest_path_route_reference`; the parity
+suite asserts both return identical routes.
+"""
 
 from __future__ import annotations
 
@@ -14,14 +25,39 @@ def shortest_path_route(
 ) -> Optional[List[int]]:
     """Hop-minimizing route from src to dst over alive nodes.
 
-    Returns the node-id path including both endpoints, or None when
-    disconnected.
+    Contract (pinned by ``tests/test_wsn_spatial.py``):
+
+    - both endpoints alive and connected -> the node-id path including
+      both endpoints;
+    - ``src == dst`` with the node alive -> ``[src]`` (zero-hop
+      self-delivery);
+    - either endpoint dead or unknown -> ``None`` — including the
+      ``src == dst`` case on a dead node.  :class:`~repro.wsn.network.Network`
+      attributes ``None`` routes to the ``"unroutable"`` drop cause;
+    - endpoints alive but in different components -> ``None``.
     """
-    if src == dst:
-        return [src]
-    g = topology.graph()
+    g = topology.cached_graph()
     if src not in g or dst not in g:
         return None
+    if src == dst:
+        return [src]
+    try:
+        return nx.shortest_path(g, src, dst)
+    except nx.NetworkXNoPath:
+        return None
+
+
+def shortest_path_route_reference(
+    topology: Topology, src: int, dst: int
+) -> Optional[List[int]]:
+    """Brute-force oracle for :func:`shortest_path_route`: rebuilds the
+    connectivity graph from scratch on every call (the pre-memoization
+    behaviour), with the same endpoint contract."""
+    g = topology.graph_reference()
+    if src not in g or dst not in g:
+        return None
+    if src == dst:
+        return [src]
     try:
         return nx.shortest_path(g, src, dst)
     except nx.NetworkXNoPath:
@@ -33,7 +69,7 @@ def sink_tree(topology: Topology, sink: int) -> Dict[int, Optional[int]]:
 
     Unreachable nodes are absent; the sink maps to None.
     """
-    g = topology.graph()
+    g = topology.cached_graph()
     if sink not in g:
         raise KeyError(f"sink {sink} is not an alive node")
     parents: Dict[int, Optional[int]] = {sink: None}

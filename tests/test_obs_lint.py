@@ -383,6 +383,74 @@ def test_timeline_lint_detects_violations():
         assert not timeline_forbidden_imports(ast.parse(src)), src
 
 
+def networkx_imports_any_scope(tree):
+    """Every import statement touching ``networkx``, at any depth —
+    function bodies included.
+
+    The spatial layer's whole value is that city-scale neighborhood
+    queries and adjacency construction run on flat ndarrays; a
+    ``networkx`` import in a hot query path would mean per-query graph
+    objects sneaking back in.  Graphs are built by the topology layer
+    *from* the sparse arrays, never the other way around, so even the
+    lazy-import escape hatch is banned in these files.
+    """
+    offenders = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(a.name == "networkx" or a.name.startswith("networkx.")
+                   for a in node.names):
+                offenders.append(node.lineno)
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if mod == "networkx" or mod.startswith("networkx."):
+                offenders.append(node.lineno)
+    return offenders
+
+
+#: The wsn hot query paths: spatial index + CSR adjacency, the node
+#: model (distance kernel), the generator suite, the accounting-heavy
+#: network layer, and the Choco round.  ``topology.py``/``routing.py``
+#: legitimately *assemble* nx graphs and are exempt.
+_NX_BANNED_WSN_FILES = (
+    "spatial.py", "node.py", "generators.py", "network.py", "choco.py",
+)
+
+
+def test_wsn_hot_paths_never_import_networkx():
+    offenders = []
+    for name in _NX_BANNED_WSN_FILES:
+        path = SRC / "wsn" / name
+        assert path.is_file(), f"repro/wsn/{name} is missing"
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno in networkx_imports_any_scope(tree):
+            offenders.append(f"{path.relative_to(SRC.parent)}:{lineno}")
+    assert offenders == [], (
+        "networkx must stay out of the wsn hot query paths (graphs are "
+        f"built from the sparse arrays, not vice versa): {offenders}"
+    )
+
+
+def test_networkx_lint_detects_violations():
+    for src in (
+        "import networkx\n",
+        "import networkx as nx\n",
+        "import networkx.algorithms\n",
+        "from networkx import Graph\n",
+        "from networkx.algorithms import shortest_path\n",
+        "def f():\n    import networkx as nx\n    return nx.Graph()\n",
+        "class C:\n    def m(self):\n        from networkx import Graph\n",
+    ):
+        assert networkx_imports_any_scope(ast.parse(src)), src
+    for src in (
+        "import numpy as np\n",
+        "from repro.wsn.spatial import GridHashIndex\n",
+        "import networkx_compat\n",
+        "from networkx_compat import thing\n",
+        "def f(g):\n    return g.number_of_edges()\n",
+    ):
+        assert not networkx_imports_any_scope(ast.parse(src)), src
+
+
 def test_sim_lint_detects_violations():
     for src in (
         "import repro.sim\n",

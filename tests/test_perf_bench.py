@@ -46,6 +46,7 @@ class TestBenchCli:
         assert "forward_masked_dead20" in names
         assert "sim_event_throughput" in names
         assert "sweep_scaling" in names
+        assert "city_scale" in names
 
     def test_sweep_scaling_records_honest_counters(self, quick_report):
         """The scaling benchmark must carry the context needed to read
@@ -164,9 +165,72 @@ class TestBenchCli:
             "forward_masked_dead20", "local_backward", "train_epoch",
             "sim_event_throughput", "traffic_replay_batched",
             "telemetry_overhead", "timeline_overhead", "sweep_scaling",
-            "serve_throughput",
+            "serve_throughput", "city_scale",
         ]
         assert set(names) == set(serial_names)
+
+    def test_city_scale_certifies_parity_and_build_budget(
+        self, quick_report
+    ):
+        """The city-scale bench's contract: every untimed parity assert
+        ran (neighbor lists, graph, routes, counter-exact stats, Choco
+        RNG stream, unroutable attribution — surfaced as 1.0 counters),
+        the sparse graph build beats its O(n^2) reference, and the
+        full-graph construction stays inside the documented budget.
+        The committed full-mode BENCH_perf.json pins the 10k-node
+        >= 20x headline; quick mode only sanity-bounds the shape."""
+        __, report = quick_report
+        bench = next(
+            b for b in report["benchmarks"] if b["name"] == "city_scale"
+        )
+        counters = bench["counters"]
+        for parity in (
+            "parity_graph_identical",
+            "parity_neighbors_identical",
+            "parity_routes_identical",
+            "parity_stats_equal",
+            "parity_choco_identical",
+            "parity_unroutable_attributed",
+        ):
+            assert counters[parity] == 1.0, parity
+        assert counters["n_nodes"] >= 1000
+        assert counters["n_edges"] > 0
+        assert counters["n_dead"] > 0
+        # The acceptance budget is < 5 s for the FULL 10k build; the
+        # quick-mode district must come in far under it.
+        assert counters["graph_build_s"] < 5.0
+        assert counters["reference_graph_build_s"] > counters["graph_build_s"]
+        assert bench["reference_timing"]["best_s"] > 0
+        # Even quick mode's smaller district must show a decisive win
+        # over the brute-force path (full mode lands far higher).
+        assert bench["speedup"] > 3.0
+        assert bench["params"]["comm_range"] > 0
+
+    def test_city_scale_rides_the_regression_gate(self, quick_report,
+                                                  tmp_path, capsys):
+        """Satellite pin: a synthetic slowdown in city_scale ALONE must
+        trip the exit-3 gate — i.e. the new benchmark is genuinely
+        inside the `--against` comparison, not just present in the
+        report."""
+        __, report = quick_report
+        doctored = json.loads(json.dumps(report))
+        for bench in doctored["benchmarks"]:
+            if bench["name"] != "city_scale":
+                continue
+            timing = bench["timing"]
+            timing["best_s"] /= 100.0
+            timing["mean_s"] /= 100.0
+            timing["median_s"] /= 100.0
+            timing["runs_s"] = [r / 100.0 for r in timing["runs_s"]]
+        baseline = tmp_path / "city_fast_baseline.json"
+        baseline.write_text(json.dumps(doctored))
+        out = tmp_path / "current.json"
+        code = main(["bench", "--quick", "--out", str(out),
+                     "--against", str(baseline)])
+        assert code == 3
+        captured = capsys.readouterr().out
+        assert "REGRESSED" in captured
+        assert "city_scale" in captured
 
     def test_against_identical_run_passes(self, quick_report, tmp_path,
                                           capsys):
